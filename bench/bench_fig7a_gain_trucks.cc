@@ -1,0 +1,43 @@
+// Fig. 7a — performance gain of k2-RDBMS and k2-LSMT over VCoDA* on the
+// Trucks workload, as bands (min/median/mean/max over an (m, eps) grid) per
+// k. Paper: k2-RDBMS up to ~8x on Trucks.
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 7a: gain over VCoDA* (Trucks)");
+  const Dataset& data = Trucks();
+  std::cout << data.DebugString() << "\n\n";
+
+  auto file_store = BuildStore(StoreKind::kFile, data, "fig7a");
+  auto rdbms = BuildStore(StoreKind::kBPlusTree, data, "fig7a");
+  auto lsmt = BuildStore(StoreKind::kLsm, data, "fig7a");
+
+  const std::vector<int> ms = {3, 6};
+  const std::vector<double> epss = {30.0, 120.0};
+
+  TablePrinter table({"k", "engine", "min", "median", "mean", "max"});
+  for (int k : {200, 400, 600, 1000}) {
+    std::vector<double> rdbms_gain, lsmt_gain;
+    for (int m : ms) {
+      for (double eps : epss) {
+        const MiningParams params{m, k, eps};
+        const double vcoda = RunVcoda(file_store.get(), params, true).seconds;
+        rdbms_gain.push_back(vcoda /
+                             std::max(1e-6, RunK2(rdbms.get(), params).seconds));
+        lsmt_gain.push_back(vcoda /
+                            std::max(1e-6, RunK2(lsmt.get(), params).seconds));
+      }
+    }
+    const GainBand rb = Band(rdbms_gain);
+    const GainBand lb = Band(lsmt_gain);
+    table.AddRow({std::to_string(k), "k2-RDBMS", Fmt(rb.min, 2), Fmt(rb.median, 2),
+                  Fmt(rb.mean, 2), Fmt(rb.max, 2)});
+    table.AddRow({std::to_string(k), "k2-LSMT", Fmt(lb.min, 2), Fmt(lb.median, 2),
+                  Fmt(lb.mean, 2), Fmt(lb.max, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 7b — performance gain of k2-RDBMS and k2-LSMT over VCoDA* on the
+// T-Drive workload, as bands over an (m, eps) grid per k. Paper: up to ~260x
+// on T-Drive — an order of magnitude above the Trucks gains, because the
+// dataset is larger and convoys are sparser.
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 7b: gain over VCoDA* (T-Drive)");
+  const Dataset& data = TDrive();
+  std::cout << data.DebugString() << "\n\n";
+
+  auto file_store = BuildStore(StoreKind::kFile, data, "fig7b");
+  auto rdbms = BuildStore(StoreKind::kBPlusTree, data, "fig7b");
+  auto lsmt = BuildStore(StoreKind::kLsm, data, "fig7b");
+
+  const std::vector<int> ms = {3, 6};
+  const std::vector<double> epss = {60.0, 200.0};
+
+  TablePrinter table({"k", "engine", "min", "median", "mean", "max"});
+  for (int k : {200, 400, 600, 1000}) {
+    std::vector<double> rdbms_gain, lsmt_gain;
+    for (int m : ms) {
+      for (double eps : epss) {
+        const MiningParams params{m, k, eps};
+        const double vcoda = RunVcoda(file_store.get(), params, true).seconds;
+        rdbms_gain.push_back(vcoda /
+                             std::max(1e-6, RunK2(rdbms.get(), params).seconds));
+        lsmt_gain.push_back(vcoda /
+                            std::max(1e-6, RunK2(lsmt.get(), params).seconds));
+      }
+    }
+    const GainBand rb = Band(rdbms_gain);
+    const GainBand lb = Band(lsmt_gain);
+    table.AddRow({std::to_string(k), "k2-RDBMS", Fmt(rb.min, 1), Fmt(rb.median, 1),
+                  Fmt(rb.mean, 1), Fmt(rb.max, 1)});
+    table.AddRow({std::to_string(k), "k2-LSMT", Fmt(lb.min, 1), Fmt(lb.median, 1),
+                  Fmt(lb.mean, 1), Fmt(lb.max, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fig. 7d — k/2 gain over SPARE on a single machine, 1..8 cores.
+#include "bench/spare_gain_common.h"
+
+int main() {
+  return k2::bench::RunSpareGainFigure(
+      "Fig 7d: k/2 gain over SPARE, single machine (workers 1-8)",
+      {1, 2, 4, 8});
+}

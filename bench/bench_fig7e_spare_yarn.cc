@@ -1,0 +1,8 @@
+// Fig. 7e — k/2 gain over SPARE on the "YARN cluster" setup (workers 2-16).
+#include "bench/spare_gain_common.h"
+
+int main() {
+  return k2::bench::RunSpareGainFigure(
+      "Fig 7e: k/2 gain over SPARE, YARN-cluster emulation (workers 2-16)",
+      {2, 4, 8, 16});
+}

@@ -1,0 +1,8 @@
+// Fig. 7f — k/2 gain over SPARE on the "NUMA machine" setup (workers 8-32).
+#include "bench/spare_gain_common.h"
+
+int main() {
+  return k2::bench::RunSpareGainFigure(
+      "Fig 7f: k/2 gain over SPARE, NUMA emulation (workers 8-32)",
+      {8, 16, 24, 32});
+}

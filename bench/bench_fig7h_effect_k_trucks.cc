@@ -1,0 +1,34 @@
+// Fig. 7h — Trucks: effect of varying k on the runtime of VCoDA, VCoDA*,
+// k2-File, k2-RDBMS and k2-LSMT. Expected shape: the VCoDA variants are flat
+// in k (they touch every point regardless), while the k2-* variants get
+// faster as k grows (fewer benchmark points, more pruning).
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 7h: Trucks — effect of k (time in seconds)");
+  const Dataset& data = Trucks();
+  std::cout << data.DebugString() << "\n\n";
+
+  auto file_store = BuildStore(StoreKind::kFile, data, "fig7h");
+  auto rdbms = BuildStore(StoreKind::kBPlusTree, data, "fig7h");
+  auto lsmt = BuildStore(StoreKind::kLsm, data, "fig7h");
+
+  TablePrinter table({"k", "VCoDA", "VCoDA*", "k2-File", "k2-RDBMS",
+                      "k2-LSMT", "convoys"});
+  for (int k : {200, 400, 600, 800, 1000, 1200}) {
+    const MiningParams params{3, k, 30.0};
+    const MineOutcome vcoda = RunVcoda(file_store.get(), params, false);
+    const MineOutcome vcoda_star = RunVcoda(file_store.get(), params, true);
+    const MineOutcome k2_file = RunK2(file_store.get(), params);
+    const MineOutcome k2_rdbms = RunK2(rdbms.get(), params);
+    const MineOutcome k2_lsmt = RunK2(lsmt.get(), params);
+    table.AddRow({std::to_string(k), Fmt(vcoda.seconds), Fmt(vcoda_star.seconds),
+                  Fmt(k2_file.seconds), Fmt(k2_rdbms.seconds),
+                  Fmt(k2_lsmt.seconds), std::to_string(k2_lsmt.convoys)});
+  }
+  table.Print();
+  return 0;
+}

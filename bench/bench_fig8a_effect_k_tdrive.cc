@@ -1,0 +1,8 @@
+// Fig. 8a — T-Drive: effect of varying k on runtime (five miners).
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (int k : {200, 400, 600, 800, 1000, 1200}) sweep.push_back({3, k, 60.0});
+  return k2::bench::RunEffectSweep("Fig 8a: T-Drive — effect of k (seconds)",
+                                   k2::bench::TDrive(), "fig8a", "k", sweep);
+}

@@ -1,0 +1,9 @@
+// Fig. 8b — Brinkhoff: effect of varying k. VCoDA exceeds the modelled
+// memory budget on this dataset (the paper reports an OOM crash).
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (int k : {200, 400, 600, 800, 1000, 1200}) sweep.push_back({3, k, 60.0});
+  return k2::bench::RunEffectSweep("Fig 8b: Brinkhoff — effect of k (seconds)",
+                                   k2::bench::Brinkhoff(), "fig8b", "k", sweep);
+}

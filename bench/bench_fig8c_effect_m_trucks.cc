@@ -1,0 +1,8 @@
+// Fig. 8c — Trucks: effect of varying m; k2-* get faster with larger m.
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (int m : {3, 6, 9}) sweep.push_back({m, 200, 30.0});
+  return k2::bench::RunEffectSweep("Fig 8c: Trucks — effect of m (seconds)",
+                                   k2::bench::Trucks(), "fig8c", "m", sweep);
+}

@@ -1,0 +1,8 @@
+// Fig. 8d — T-Drive: effect of varying m.
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (int m : {3, 6, 9}) sweep.push_back({m, 200, 60.0});
+  return k2::bench::RunEffectSweep("Fig 8d: T-Drive — effect of m (seconds)",
+                                   k2::bench::TDrive(), "fig8d", "m", sweep);
+}

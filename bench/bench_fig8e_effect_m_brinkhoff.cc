@@ -1,0 +1,8 @@
+// Fig. 8e — Brinkhoff: effect of varying m (k2-* only; VCoDA DNF).
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (int m : {3, 6, 9}) sweep.push_back({m, 200, 60.0});
+  return k2::bench::RunEffectSweep("Fig 8e: Brinkhoff — effect of m (seconds)",
+                                   k2::bench::Brinkhoff(), "fig8e", "m", sweep);
+}

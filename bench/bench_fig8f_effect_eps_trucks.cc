@@ -1,0 +1,9 @@
+// Fig. 8f — Trucks: effect of varying eps; larger eps => more clusters that
+// never become convoys => less pruning => k2-* get slower.
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (double eps : {6.0, 30.0, 150.0}) sweep.push_back({3, 200, eps});
+  return k2::bench::RunEffectSweep("Fig 8f: Trucks — effect of eps (seconds)",
+                                   k2::bench::Trucks(), "fig8f", "eps", sweep);
+}

@@ -1,0 +1,8 @@
+// Fig. 8h — Brinkhoff: effect of varying eps (k2-* only; VCoDA DNF).
+#include "bench/effect_sweep_common.h"
+int main() {
+  std::vector<k2::MiningParams> sweep;
+  for (double eps : {12.0, 60.0, 300.0}) sweep.push_back({3, 200, eps});
+  return k2::bench::RunEffectSweep("Fig 8h: Brinkhoff — effect of eps (seconds)",
+                                   k2::bench::Brinkhoff(), "fig8h", "eps", sweep);
+}

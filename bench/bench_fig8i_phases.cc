@@ -1,0 +1,29 @@
+// Fig. 8i — execution time of the k2-LSMT phases (HWMT, merge, extend-left,
+// extend-right, validation) per k. Paper: HWMT dominates, extension second,
+// the rest negligible.
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 8i: k2-LSMT phase breakdown (seconds)");
+  const Dataset& data = Trucks();
+  std::cout << data.DebugString() << "\n\n";
+  auto lsmt = BuildStore(StoreKind::kLsm, data, "fig8i");
+
+  TablePrinter table({"k", "benchmark", "candidates", "HWMT", "merge",
+                      "extend-right", "extend-left", "validation"});
+  for (int k : {200, 400, 600, 800, 1000, 1200}) {
+    K2HopStats stats;
+    RunK2(lsmt.get(), {3, k, 30.0}, &stats);
+    table.AddRow({std::to_string(k), Fmt(stats.phases.Get("benchmark")),
+                  Fmt(stats.phases.Get("candidates")),
+                  Fmt(stats.phases.Get("HWMT")), Fmt(stats.phases.Get("merge")),
+                  Fmt(stats.phases.Get("extend-right")),
+                  Fmt(stats.phases.Get("extend-left")),
+                  Fmt(stats.phases.Get("validation"))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 8j — number of pre-validation convoys fed to the validation step,
+// k2-LSMT vs VCoDA, per k. Paper: the difference is small, which is why the
+// validation-time saving of k/2-hop is insignificant (Sec. 6.3.9).
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 8j: pre-validation convoy count");
+  const Dataset& data = Trucks();
+  std::cout << data.DebugString() << "\n\n";
+  auto lsmt = BuildStore(StoreKind::kLsm, data, "fig8j");
+  auto file_store = BuildStore(StoreKind::kFile, data, "fig8j");
+
+  TablePrinter table({"k", "k2-LSMT", "VCoDA"});
+  for (int k : {200, 400, 600, 800, 1000, 1200}) {
+    const MiningParams params{3, k, 30.0};
+    K2HopStats k2_stats;
+    RunK2(lsmt.get(), params, &k2_stats);
+    VcodaStats vcoda_stats;
+    RunVcoda(file_store.get(), params, true, &vcoda_stats);
+    table.AddRow({std::to_string(k),
+                  std::to_string(k2_stats.prevalidation_convoys),
+                  std::to_string(vcoda_stats.prevalidation_convoys)});
+  }
+  table.Print();
+  return 0;
+}

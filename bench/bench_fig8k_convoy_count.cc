@@ -1,0 +1,41 @@
+// Fig. 8k — effect of convoy count on k/2-hop runtime: planted-convoy
+// datasets with increasing numbers of groups (all else equal). Paper: time
+// generally grows with the number of convoys found, because less data can
+// be pruned.
+#include "bench/harness.h"
+#include "gen/synthetic.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Fig 8k: effect of convoy count (planted workload)");
+
+  TablePrinter table({"planted", "found", "k2-RDBMS", "k2-LSMT"});
+  for (int groups : {0, 4, 8, 16, 32, 64}) {
+    PlantedConvoySpec spec;
+    spec.num_noise_objects = 300;
+    spec.num_ticks = 600;
+    spec.area = 30000.0;
+    spec.noise_step = 120.0;
+    spec.member_spacing = 4.0;
+    spec.seed = 1234 + groups;
+    for (int g = 0; g < groups; ++g) {
+      PlantedGroup group;
+      group.size = 3 + g % 3;
+      group.start = (g * 37) % 300;
+      group.end = group.start + 150 + (g * 13) % 120;
+      spec.groups.push_back(group);
+    }
+    const Dataset data = GeneratePlantedConvoys(spec);
+    auto rdbms = BuildStore(StoreKind::kBPlusTree, data, "fig8k");
+    auto lsmt = BuildStore(StoreKind::kLsm, data, "fig8k");
+    const MiningParams params{3, 100, 10.0};
+    const MineOutcome r = RunK2(rdbms.get(), params);
+    const MineOutcome l = RunK2(lsmt.get(), params);
+    table.AddRow({std::to_string(groups), std::to_string(r.convoys),
+                  Fmt(r.seconds), Fmt(l.seconds)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 8l — data-size scalability: the same mining job on a ~4x pair of
+// Brinkhoff datasets. Paper: VCoDA* grows sharply and crashes on the larger
+// dataset; the k2-* engines grow sub-linearly.
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+namespace {
+
+void Measure(const Dataset& data, const std::string& tag,
+             TablePrinter* table) {
+  const MiningParams params{3, 200, 60.0};
+  std::string vcoda = "DNF(mem)";
+  if (!VcodaExceedsMemoryBudget(data)) {
+    auto file_store = BuildStore(StoreKind::kFile, data, tag);
+    vcoda = Fmt(RunVcoda(file_store.get(), params, true).seconds);
+  }
+  auto rdbms = BuildStore(StoreKind::kBPlusTree, data, tag);
+  auto lsmt = BuildStore(StoreKind::kLsm, data, tag);
+  table->AddRow({std::to_string(data.num_points()), vcoda,
+                 Fmt(RunK2(rdbms.get(), params).seconds),
+                 Fmt(RunK2(lsmt.get(), params).seconds)});
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Fig 8l: data size scalability (Brinkhoff pair)");
+  TablePrinter table({"points", "VCoDA*", "k2-RDBMS", "k2-LSMT"});
+  Measure(BrinkhoffSmall(), "fig8l_small", &table);
+  Measure(Brinkhoff(), "fig8l_big", &table);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table 4 — properties of the generated Brinkhoff dataset, in the paper's
+// vocabulary (ObjBegin, ObjTime, MaxTime, nodes, edges, data space, moving
+// objects, points).
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+int main() {
+  PrintBanner("Table 4: Brinkhoff dataset properties");
+  const BrinkhoffStats stats = BrinkhoffProperties();
+  const Dataset& data = Brinkhoff();
+
+  TablePrinter table({"Property", "Value"});
+  table.AddRow({"MaxTime", std::to_string(stats.max_time)});
+  table.AddRow({"number of nodes", std::to_string(stats.num_nodes)});
+  table.AddRow({"number of edges", std::to_string(stats.num_edges)});
+  table.AddRow({"data space width (m)", Fmt(stats.data_space_width, 0)});
+  table.AddRow({"data space height (m)", Fmt(stats.data_space_height, 0)});
+  table.AddRow({"moving objects", std::to_string(stats.moving_objects)});
+  table.AddRow({"points", std::to_string(stats.points)});
+  table.AddRow({"points (cached dataset)", std::to_string(data.num_points())});
+  table.AddRow({"distinct ticks", std::to_string(data.timestamps().size())});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 5 — k/2-hop data pruning performance: min/max points processed and
+// pruning percentage over a grid of mining parameters, for all three
+// datasets. The paper reports >99 % pruning in most cases on the larger
+// datasets.
+#include <limits>
+
+#include "bench/harness.h"
+
+using namespace k2;
+using namespace k2::bench;
+
+namespace {
+
+struct PruningRow {
+  uint64_t total = 0;
+  uint64_t min_processed = std::numeric_limits<uint64_t>::max();
+  uint64_t max_processed = 0;
+};
+
+PruningRow Measure(const Dataset& data, const std::string& tag,
+                   const std::vector<MiningParams>& grid) {
+  PruningRow row;
+  row.total = data.num_points();
+  auto store = BuildStore(StoreKind::kBPlusTree, data, "table5_" + tag);
+  for (const MiningParams& params : grid) {
+    K2HopStats stats;
+    RunK2(store.get(), params, &stats);
+    row.min_processed = std::min(row.min_processed, stats.points_processed());
+    row.max_processed = std::max(row.max_processed, stats.points_processed());
+  }
+  return row;
+}
+
+std::string Pct(uint64_t processed, uint64_t total) {
+  if (total == 0) return "-";
+  return Fmt(100.0 * (1.0 - static_cast<double>(processed) /
+                                static_cast<double>(total)),
+             2) +
+         "%";
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table 5: k/2-hop data pruning performance");
+
+  const std::vector<MiningParams> trucks_grid = {
+      {3, 200, 30.0}, {3, 600, 30.0}, {6, 400, 30.0}, {3, 400, 120.0}};
+  const std::vector<MiningParams> tdrive_grid = {
+      {3, 200, 60.0}, {3, 600, 60.0}, {6, 400, 60.0}, {3, 400, 200.0}};
+  const std::vector<MiningParams> brinkhoff_grid = {
+      {3, 200, 60.0}, {3, 600, 60.0}, {6, 400, 60.0}, {3, 400, 200.0}};
+
+  const PruningRow trucks = Measure(Trucks(), "trucks", trucks_grid);
+  const PruningRow tdrive = Measure(TDrive(), "tdrive", tdrive_grid);
+  const PruningRow brinkhoff = Measure(Brinkhoff(), "brinkhoff", brinkhoff_grid);
+
+  TablePrinter table({"", "Trucks", "T-Drive", "Brinkhoff"});
+  table.AddRow({"Total Number of Points", std::to_string(trucks.total),
+                std::to_string(tdrive.total), std::to_string(brinkhoff.total)});
+  table.AddRow({"Min Points Processed", std::to_string(trucks.min_processed),
+                std::to_string(tdrive.min_processed),
+                std::to_string(brinkhoff.min_processed)});
+  table.AddRow({"Max Points Processed", std::to_string(trucks.max_processed),
+                std::to_string(tdrive.max_processed),
+                std::to_string(brinkhoff.max_processed)});
+  table.AddRow({"Min Pruning", Pct(trucks.max_processed, trucks.total),
+                Pct(tdrive.max_processed, tdrive.total),
+                Pct(brinkhoff.max_processed, brinkhoff.total)});
+  table.AddRow({"Max Pruning", Pct(trucks.min_processed, trucks.total),
+                Pct(tdrive.min_processed, tdrive.total),
+                Pct(brinkhoff.min_processed, brinkhoff.total)});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared driver for the Fig. 7h / 8a-8h parameter-effect figures: runtime of
+// the five miners (VCoDA, VCoDA*, k2-File, k2-RDBMS, k2-LSMT) while one
+// mining parameter sweeps. On datasets over the modelled memory budget the
+// VCoDA columns print DNF, reproducing the paper's crashes.
+#ifndef K2_BENCH_EFFECT_SWEEP_COMMON_H_
+#define K2_BENCH_EFFECT_SWEEP_COMMON_H_
+
+#include "bench/harness.h"
+
+namespace k2::bench {
+
+inline int RunEffectSweep(const std::string& title, const Dataset& data,
+                          const std::string& tag,
+                          const std::string& swept_name,
+                          const std::vector<MiningParams>& sweep) {
+  PrintBanner(title);
+  std::cout << data.DebugString() << "\n\n";
+  const bool vcoda_fits = !VcodaExceedsMemoryBudget(data);
+
+  auto file_store = BuildStore(StoreKind::kFile, data, tag);
+  auto rdbms = BuildStore(StoreKind::kBPlusTree, data, tag);
+  auto lsmt = BuildStore(StoreKind::kLsm, data, tag);
+
+  TablePrinter table({swept_name, "VCoDA", "VCoDA*", "k2-File", "k2-RDBMS",
+                      "k2-LSMT", "convoys"});
+  for (const MiningParams& params : sweep) {
+    std::string swept;
+    if (swept_name == "k") swept = std::to_string(params.k);
+    if (swept_name == "m") swept = std::to_string(params.m);
+    if (swept_name == "eps") swept = Fmt(params.eps, 1);
+    std::string vcoda = "DNF(mem)", vcoda_star = "DNF(mem)";
+    if (vcoda_fits) {
+      vcoda = Fmt(RunVcoda(file_store.get(), params, false).seconds);
+      vcoda_star = Fmt(RunVcoda(file_store.get(), params, true).seconds);
+    }
+    const MineOutcome k2_file = RunK2(file_store.get(), params);
+    const MineOutcome k2_rdbms = RunK2(rdbms.get(), params);
+    const MineOutcome k2_lsmt = RunK2(lsmt.get(), params);
+    table.AddRow({swept, vcoda, vcoda_star, Fmt(k2_file.seconds),
+                  Fmt(k2_rdbms.seconds), Fmt(k2_lsmt.seconds),
+                  std::to_string(k2_rdbms.convoys)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace k2::bench
+
+#endif  // K2_BENCH_EFFECT_SWEEP_COMMON_H_

@@ -1,0 +1,249 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "baselines/dcm.h"
+#include "baselines/spare.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "gen/tdrive.h"
+#include "gen/trucks.h"
+#include "io/csv.h"
+
+namespace k2::bench {
+
+namespace {
+
+const char* kCacheDir = "/tmp/k2hop_bench";
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+/// Loads a cached dataset or generates + caches it.
+Dataset CachedDataset(const std::string& name,
+                      const std::function<Dataset()>& generate) {
+  std::filesystem::create_directories(kCacheDir);
+  const std::string path = std::string(kCacheDir) + "/" + name + ".bin";
+  if (std::filesystem::exists(path)) {
+    auto loaded = ReadBinary(path);
+    if (loaded.ok()) return loaded.MoveValue();
+  }
+  Dataset ds = generate();
+  K2_CHECK_OK(WriteBinary(ds, path));
+  return ds;
+}
+
+std::string ScaleTag() {
+  std::ostringstream os;
+  os << "s" << ScaleFactor();
+  return os.str();
+}
+
+}  // namespace
+
+double ScaleFactor() {
+  static const double scale = std::max(0.05, EnvDouble("K2_BENCH_SCALE", 1.0));
+  return scale;
+}
+
+const Dataset& Trucks() {
+  static const Dataset ds = CachedDataset("trucks_" + ScaleTag(), [] {
+    TrucksParams params;
+    params.num_trajectories =
+        std::max(20, static_cast<int>(276 * ScaleFactor()));
+    params.ticks = 1320;
+    // Slow urban speeds so delivery round trips span a few hundred ticks,
+    // like the paper's 30 s sampled truck-days (DESIGN.md substitutions).
+    params.grid.side_speed = 18.0;
+    params.grid.main_speed = 30.0;
+    params.grid.highway_speed = 45.0;
+    return GenerateTrucks(params);
+  });
+  return ds;
+}
+
+const Dataset& TDrive() {
+  static const Dataset ds = CachedDataset("tdrive_" + ScaleTag(), [] {
+    TDriveParams params;
+    params.scale = ScaleFactor() / 24.0;  // ~430 taxis at scale 1
+    params.ticks = 1900;
+    params.grid.side_speed = 150.0;
+    params.grid.main_speed = 300.0;
+    params.grid.highway_speed = 550.0;
+    return GenerateTDrive(params);
+  });
+  return ds;
+}
+
+namespace {
+
+BrinkhoffParams BrinkhoffConfig(double size_factor) {
+  BrinkhoffParams params;
+  params.grid.nx = 20;
+  params.grid.ny = 20;
+  params.grid.spacing = 650.0;
+  params.grid.side_speed = 90.0;
+  params.grid.main_speed = 180.0;
+  params.grid.highway_speed = 320.0;
+  params.max_time = 1800;
+  params.obj_begin = std::max(50, static_cast<int>(2400 * size_factor));
+  params.obj_time = std::max(1, static_cast<int>(26 * size_factor));
+  return params;
+}
+
+}  // namespace
+
+const Dataset& Brinkhoff() {
+  static const Dataset ds = CachedDataset("brinkhoff_" + ScaleTag(), [] {
+    return GenerateBrinkhoff(BrinkhoffConfig(ScaleFactor()));
+  });
+  return ds;
+}
+
+const Dataset& BrinkhoffSmall() {
+  static const Dataset ds = CachedDataset("brinkhoff_small_" + ScaleTag(), [] {
+    return GenerateBrinkhoff(BrinkhoffConfig(ScaleFactor() / 4.0));
+  });
+  return ds;
+}
+
+BrinkhoffStats BrinkhoffProperties() {
+  BrinkhoffStats stats;
+  GenerateBrinkhoff(BrinkhoffConfig(ScaleFactor()), &stats);
+  return stats;
+}
+
+std::unique_ptr<Store> BuildStore(StoreKind kind, const Dataset& data,
+                                  const std::string& tag) {
+  const std::string dir =
+      std::string(kCacheDir) + "/stores/" + tag + "_" + StoreKindName(kind);
+  std::filesystem::remove_all(dir);
+  auto store_result = CreateStore(kind, dir);
+  K2_CHECK(store_result.ok());
+  std::unique_ptr<Store> store = store_result.MoveValue();
+  K2_CHECK_OK(store->BulkLoad(data));
+  return store;
+}
+
+MineOutcome RunK2(Store* store, const MiningParams& params, K2HopStats* stats,
+                  const K2HopOptions& options) {
+  MineOutcome outcome;
+  Stopwatch sw;
+  auto result = MineK2Hop(store, params, options, stats);
+  outcome.seconds = sw.ElapsedSeconds();
+  K2_CHECK(result.ok());
+  outcome.convoys = result.value().size();
+  return outcome;
+}
+
+MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
+                     VcodaStats* stats) {
+  MineOutcome outcome;
+  Stopwatch sw;
+  auto result = MineVcoda(store, params, corrected, stats);
+  outcome.seconds = sw.ElapsedSeconds();
+  K2_CHECK(result.ok());
+  outcome.convoys = result.value().size();
+  return outcome;
+}
+
+MineOutcome RunSpare(Store* store, const MiningParams& params, int workers) {
+  MineOutcome outcome;
+  SpareOptions options;
+  options.num_workers = workers;
+  SpareStats stats;
+  Stopwatch sw;
+  auto result = MineSpare(store, params, options, &stats);
+  outcome.seconds = sw.ElapsedSeconds();
+  K2_CHECK(result.ok());
+  outcome.convoys = result.value().size();
+  if (stats.budget_exhausted) {
+    outcome.dnf = true;
+    outcome.note = "enum-budget";
+  }
+  return outcome;
+}
+
+MineOutcome RunDcm(Store* store, const MiningParams& params, int partitions,
+                   int workers) {
+  MineOutcome outcome;
+  DcmOptions options;
+  options.num_partitions = partitions;
+  options.num_workers = workers;
+  Stopwatch sw;
+  auto result = MineDcm(store, params, options);
+  outcome.seconds = sw.ElapsedSeconds();
+  K2_CHECK(result.ok());
+  outcome.convoys = result.value().size();
+  return outcome;
+}
+
+bool VcodaExceedsMemoryBudget(const Dataset& data) {
+  const double budget = EnvDouble("K2_VCODA_ROW_BUDGET", 1.5e6);
+  return static_cast<double>(data.num_points()) > budget;
+}
+
+GainBand Band(std::vector<double> gains) {
+  GainBand band;
+  if (gains.empty()) return band;
+  std::sort(gains.begin(), gains.end());
+  band.min = gains.front();
+  band.max = gains.back();
+  band.mean = std::accumulate(gains.begin(), gains.end(), 0.0) /
+              static_cast<double>(gains.size());
+  const size_t mid = gains.size() / 2;
+  band.median = gains.size() % 2 == 1
+                    ? gains[mid]
+                    : 0.5 * (gains[mid - 1] + gains[mid]);
+  return band;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c]))
+         << (c < row.size() ? row[c] : "");
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = headers_.size() * 2;
+  for (size_t w : widths) total += w;
+  os << "  " << std::string(total - 2, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void PrintBanner(const std::string& title) {
+  std::cout << "==== " << title << " ====\n"
+            << "scale=" << ScaleFactor() << "  (set K2_BENCH_SCALE to change)\n";
+}
+
+}  // namespace k2::bench

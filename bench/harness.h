@@ -1,0 +1,90 @@
+// Shared infrastructure for the paper-reproduction benchmarks: the three
+// standard workloads (DESIGN.md substitution table), store construction,
+// timed mining runs, and paper-style table printing.
+//
+// Every bench binary prints the rows/series of one table or figure of the
+// paper. Dataset sizes default to laptop scale; set K2_BENCH_SCALE to grow
+// them (e.g. K2_BENCH_SCALE=4 quadruples object counts).
+#ifndef K2_BENCH_HARNESS_H_
+#define K2_BENCH_HARNESS_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/vcoda.h"
+#include "core/k2hop.h"
+#include "gen/brinkhoff.h"
+#include "model/dataset.h"
+#include "storage/store.h"
+
+namespace k2::bench {
+
+/// Global size multiplier from K2_BENCH_SCALE (default 1.0).
+double ScaleFactor();
+
+/// The paper's three workloads at bench scale; generated once per process
+/// and cached as binary files under /tmp/k2hop_bench across binaries.
+const Dataset& Trucks();
+const Dataset& TDrive();
+const Dataset& Brinkhoff();
+/// Smaller Brinkhoff sibling (~1/4 the points) for the Fig. 8l size pair.
+const Dataset& BrinkhoffSmall();
+
+/// Regenerates the Brinkhoff network to report its properties (Table 4).
+BrinkhoffStats BrinkhoffProperties();
+
+/// Builds and bulk-loads a store; disk engines live under /tmp/k2hop_bench.
+std::unique_ptr<Store> BuildStore(StoreKind kind, const Dataset& data,
+                                  const std::string& tag);
+
+/// One timed mining run.
+struct MineOutcome {
+  double seconds = 0.0;
+  size_t convoys = 0;
+  bool dnf = false;       ///< did not finish (models the paper's crashes)
+  std::string note;       ///< e.g. "mem-budget" for a modelled OOM
+};
+
+MineOutcome RunK2(Store* store, const MiningParams& params,
+                  K2HopStats* stats = nullptr,
+                  const K2HopOptions& options = {});
+MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
+                     VcodaStats* stats = nullptr);
+MineOutcome RunSpare(Store* store, const MiningParams& params, int workers);
+MineOutcome RunDcm(Store* store, const MiningParams& params, int partitions,
+                   int workers);
+
+/// Models the paper's 6 GiB JVM heap: VCoDA materializes every candidate of
+/// every timestamp, so beyond a row budget the paper's run crashed with OOM
+/// (Sec. 6.3.1). Row budget via K2_VCODA_ROW_BUDGET (default 1.5 M).
+bool VcodaExceedsMemoryBudget(const Dataset& data);
+
+/// min/max/mean/median of a gain series (the bands of Figs. 7a/7b).
+struct GainBand {
+  double min = 0.0, max = 0.0, mean = 0.0, median = 0.0;
+};
+GainBand Band(std::vector<double> gains);
+
+/// Fixed-width aligned text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shorthand numeric formatting ("12.3", "0.004", "DNF").
+std::string Fmt(double v, int precision = 3);
+
+/// Prints the standard bench banner (dataset shapes, scale factor).
+void PrintBanner(const std::string& title);
+
+}  // namespace k2::bench
+
+#endif  // K2_BENCH_HARNESS_H_

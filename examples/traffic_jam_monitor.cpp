@@ -1,0 +1,71 @@
+// Traffic-jam detection — the paper's second motivating use case: "to detect
+// all traffic jams of duration more than 15 mins and involving 50 cars or
+// more, set m = 50 and k = 15 (at 1-minute sampling)" (Sec. 1).
+//
+// We simulate network traffic with a Brinkhoff-style generator, inject a
+// jam (a blocked highway segment where vehicles crawl bumper-to-bumper),
+// and mine with a large m and short k to find it.
+#include <iostream>
+
+#include "common/convoy.h"
+#include "common/rng.h"
+#include "core/k2hop.h"
+#include "gen/brinkhoff.h"
+#include "storage/memory_store.h"
+
+int main() {
+  // Background traffic.
+  k2::BrinkhoffParams params;
+  params.grid.nx = 12;
+  params.grid.ny = 12;
+  params.max_time = 120;  // two hours at 1-minute sampling
+  params.obj_begin = 150;
+  params.obj_time = 2;
+  params.seed = 31;
+  k2::BrinkhoffStats gen_stats;
+  const k2::Dataset traffic = k2::GenerateBrinkhoff(params, &gen_stats);
+
+  // Inject the jam: 60 vehicles stuck on one stretch between minutes 30-75,
+  // creeping forward a couple of metres per minute at 5 m headway.
+  k2::DatasetBuilder builder;
+  for (const k2::PointRecord& rec : traffic.records()) builder.Add(rec);
+  k2::Rng rng(7);
+  const double jam_x0 = 2000.0, jam_y = 3300.0;
+  const k2::ObjectId jam_base = 100000;
+  for (int car = 0; car < 60; ++car) {
+    const double queue_pos = jam_x0 + car * 5.0;  // 5 m headway
+    for (k2::Timestamp t = 30; t <= 75; ++t) {
+      builder.Add(t, jam_base + car,
+                  queue_pos + (t - 30) * 2.0 + rng.Gaussian(0, 0.5),
+                  jam_y + rng.Gaussian(0, 0.5));
+    }
+  }
+  const k2::Dataset dataset = builder.Build();
+  std::cout << "monitoring " << dataset.DebugString() << "\n";
+
+  // Jam query: >= 40 vehicles for >= 15 minutes. Density: DBSCAN's minPts
+  // equals m, so eps must cover >= m cars of a queue — the paper's "few
+  // hundred meters" for road-scale convoys (Sec. 1); 40 cars at 5 m headway
+  // span 200 m, so eps = 250 m sees the whole queue.
+  const k2::MiningParams jam_query{40, 15, 250.0};
+  k2::MemoryStore store(dataset);
+  k2::K2HopStats stats;
+  auto result = k2::MineK2Hop(&store, jam_query, {}, &stats);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  if (result.value().empty()) {
+    std::cout << "no jams detected\n";
+    return 0;
+  }
+  for (const k2::Convoy& jam : result.value()) {
+    std::cout << "JAM: " << jam.objects.size() << " vehicles stuck from minute "
+              << jam.start << " to " << jam.end << " ("
+              << jam.length() << " minutes)\n";
+  }
+  std::cout << "(k/2-hop pruned " << stats.pruning_ratio() * 100.0
+            << "% of the data while watching)\n";
+  return 0;
+}

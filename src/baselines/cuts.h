@@ -1,0 +1,42 @@
+// CuTS — Convoy discovery using Trajectory Simplification (Jeung et al.,
+// VLDB 2008): the filter-and-refine family. Filter: simplify trajectories
+// with Douglas-Peucker, partition time into λ-frames, cluster the simplified
+// sub-trajectories with an inflated threshold eps + 2δ (the DP error bound),
+// and keep only objects that fall in a sub-trajectory cluster. Refine: run
+// the per-tick sweep on the surviving objects only. The paper (Sec. 2) notes
+// the CuTS family inherits CMC's accuracy issues; our refine step uses the
+// corrected sweep so the output is comparable to PCCD.
+#ifndef K2_BASELINES_CUTS_H_
+#define K2_BASELINES_CUTS_H_
+
+#include <vector>
+
+#include "common/convoy.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/types.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+struct CutsOptions {
+  /// Frame length λ in ticks; 0 = use k (the CuTS default).
+  int lambda = 0;
+  /// Douglas-Peucker tolerance δ; 0 = eps / 4.
+  double dp_tolerance = 0.0;
+};
+
+struct CutsStats {
+  PhaseTimer phases;  ///< "simplify", "filter", "refine"
+  uint64_t input_vertices = 0;
+  uint64_t simplified_vertices = 0;
+  size_t surviving_objects = 0;  ///< objects that pass the filter anywhere
+};
+
+Result<std::vector<Convoy>> MineCuts(Store* store, const MiningParams& params,
+                                     const CutsOptions& options = {},
+                                     CutsStats* stats = nullptr);
+
+}  // namespace k2
+
+#endif  // K2_BASELINES_CUTS_H_

@@ -1,0 +1,33 @@
+// Brute-force reference miners for differential testing: enumerate every
+// object subset and every tick, check the convoy / FC-convoy property
+// literally against the definitions (Defs. 3-8), and keep maximal results.
+// Exponential in the object count — the universe is capped — but entirely
+// definition-driven, with no shared code or shared assumptions with the
+// production miners.
+#ifndef K2_BASELINES_GOLD_H_
+#define K2_BASELINES_GOLD_H_
+
+#include <vector>
+
+#include "common/convoy.h"
+#include "common/types.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+/// Hard cap on dataset object count accepted by the gold miners.
+inline constexpr size_t kGoldMaxObjects = 22;
+
+/// All maximal (partially connected) convoys with lifespan >= k: the
+/// specification PCCD / SPARE / DCM must match.
+std::vector<Convoy> GoldMaximalConvoys(const Dataset& dataset,
+                                       const MiningParams& params);
+
+/// All maximal fully connected convoys with lifespan >= k (Def. 8): the
+/// specification k/2-hop and VCoDA* must match.
+std::vector<Convoy> GoldFullyConnectedConvoys(const Dataset& dataset,
+                                              const MiningParams& params);
+
+}  // namespace k2
+
+#endif  // K2_BASELINES_GOLD_H_

@@ -1,0 +1,98 @@
+#include "baselines/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace k2 {
+
+double PointSegmentDistance(double px, double py, double ax, double ay,
+                            double bx, double by) {
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp(((px - ax) * dx + (py - ay) * dy) / len2, 0.0, 1.0);
+  }
+  const double cx = ax + t * dx;
+  const double cy = ay + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+namespace {
+
+void DpRecurse(const std::vector<TrajPoint>& pts, size_t lo, size_t hi,
+               double epsilon, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = PointSegmentDistance(pts[i].x, pts[i].y, pts[lo].x,
+                                          pts[lo].y, pts[hi].x, pts[hi].y);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst <= epsilon) return;  // everything in between is close enough
+  (*keep)[worst_idx] = true;
+  DpRecurse(pts, lo, worst_idx, epsilon, keep);
+  DpRecurse(pts, worst_idx, hi, epsilon, keep);
+}
+
+/// Minimum distance between two segments (p1,p2) and (q1,q2).
+double SegmentSegmentDistance(const TrajPoint& p1, const TrajPoint& p2,
+                              const TrajPoint& q1, const TrajPoint& q2) {
+  // Proper intersection => distance 0; otherwise the minimum is attained at
+  // an endpoint against the other segment.
+  auto orient = [](const TrajPoint& a, const TrajPoint& b, const TrajPoint& c) {
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  };
+  const double o1 = orient(p1, p2, q1);
+  const double o2 = orient(p1, p2, q2);
+  const double o3 = orient(q1, q2, p1);
+  const double o4 = orient(q1, q2, p2);
+  if (((o1 > 0) != (o2 > 0)) && ((o3 > 0) != (o4 > 0))) return 0.0;
+  double d = PointSegmentDistance(p1.x, p1.y, q1.x, q1.y, q2.x, q2.y);
+  d = std::min(d, PointSegmentDistance(p2.x, p2.y, q1.x, q1.y, q2.x, q2.y));
+  d = std::min(d, PointSegmentDistance(q1.x, q1.y, p1.x, p1.y, p2.x, p2.y));
+  d = std::min(d, PointSegmentDistance(q2.x, q2.y, p1.x, p1.y, p2.x, p2.y));
+  return d;
+}
+
+}  // namespace
+
+std::vector<TrajPoint> DouglasPeucker(const std::vector<TrajPoint>& points,
+                                      double epsilon) {
+  if (points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = keep.back() = true;
+  DpRecurse(points, 0, points.size() - 1, epsilon, &keep);
+  std::vector<TrajPoint> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+double PolylineDistance(const std::vector<TrajPoint>& a,
+                        const std::vector<TrajPoint>& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  auto segment_count = [](const std::vector<TrajPoint>& p) {
+    return p.size() < 2 ? size_t{1} : p.size() - 1;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < segment_count(a); ++i) {
+    const TrajPoint& a1 = a[i];
+    const TrajPoint& a2 = a[std::min(i + 1, a.size() - 1)];
+    for (size_t j = 0; j < segment_count(b); ++j) {
+      const TrajPoint& b1 = b[j];
+      const TrajPoint& b2 = b[std::min(j + 1, b.size() - 1)];
+      best = std::min(best, SegmentSegmentDistance(a1, a2, b1, b2));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace k2

@@ -1,0 +1,38 @@
+// Trajectory utilities for the CuTS family: Douglas-Peucker polyline
+// simplification and the minimum distance between simplified sub-
+// trajectories (segment-set distance).
+#ifndef K2_BASELINES_TRAJECTORY_H_
+#define K2_BASELINES_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace k2 {
+
+/// One vertex of a trajectory polyline.
+struct TrajPoint {
+  Timestamp t = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Douglas-Peucker simplification with spatial tolerance `epsilon`: returns
+/// the retained points (subset of the input, endpoints always kept). Every
+/// dropped point lies within `epsilon` of the simplified polyline — the
+/// error bound CuTS' filter step relies on.
+std::vector<TrajPoint> DouglasPeucker(const std::vector<TrajPoint>& points,
+                                      double epsilon);
+
+/// Euclidean distance of point p to the segment (a, b).
+double PointSegmentDistance(double px, double py, double ax, double ay,
+                            double bx, double by);
+
+/// Minimum spatial distance between two polylines (minimum over all segment
+/// pairs; a single-point polyline degenerates to a point).
+double PolylineDistance(const std::vector<TrajPoint>& a,
+                        const std::vector<TrajPoint>& b);
+
+}  // namespace k2
+
+#endif  // K2_BASELINES_TRAJECTORY_H_

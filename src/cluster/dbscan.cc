@@ -1,0 +1,121 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "cluster/grid_index.h"
+
+namespace k2 {
+
+namespace {
+
+// Region query used below: grid-indexed for large snapshots, brute force
+// for the tiny re-clusterings that dominate HWMT / extension / validation
+// (building a hash grid for 3-10 points costs more than scanning them).
+constexpr size_t kBruteForceThreshold = 32;
+
+void BruteForceNeighbors(std::span<const SnapshotPoint> points, size_t i,
+                         double eps, std::vector<uint32_t>* out) {
+  const double eps2 = eps * eps;
+  const SnapshotPoint& p = points[i];
+  for (size_t j = 0; j < points.size(); ++j) {
+    const double dx = points[j].x - p.x;
+    const double dy = points[j].y - p.y;
+    if (dx * dx + dy * dy <= eps2) out->push_back(static_cast<uint32_t>(j));
+  }
+}
+
+// Shared worker: labels every point, returns labels + cluster count.
+DbscanLabels RunDbscan(std::span<const SnapshotPoint> points, double eps,
+                       int min_pts) {
+  DbscanLabels out;
+  const size_t n = points.size();
+  out.label.assign(n, -1);
+  if (n == 0 || min_pts <= 0) return out;
+
+  std::optional<GridIndex> index;
+  if (n > kBruteForceThreshold) index.emplace(points, eps);
+  auto region_query = [&](size_t i, std::vector<uint32_t>* nbrs) {
+    nbrs->clear();
+    if (index.has_value()) {
+      index->Neighbors(i, eps, nbrs);
+    } else {
+      BruteForceNeighbors(points, i, eps, nbrs);
+    }
+  };
+
+  std::vector<bool> visited(n, false);
+  std::vector<uint32_t> neighbors;
+  std::vector<uint32_t> seeds;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    region_query(i, &neighbors);
+    if (neighbors.size() < static_cast<size_t>(min_pts)) continue;  // noise or border
+
+    const int32_t cluster = out.num_clusters++;
+    out.label[i] = cluster;
+    seeds.assign(neighbors.begin(), neighbors.end());
+    // Classic ExpandCluster: the seed list grows while new core points are
+    // discovered; border points get the cluster of the first core reaching
+    // them.
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      const uint32_t j = seeds[s];
+      if (!visited[j]) {
+        visited[j] = true;
+        region_query(j, &neighbors);
+        if (neighbors.size() >= static_cast<size_t>(min_pts)) {
+          seeds.insert(seeds.end(), neighbors.begin(), neighbors.end());
+        }
+      }
+      if (out.label[j] < 0) out.label[j] = cluster;
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectSet> LabelsToClusters(std::span<const SnapshotPoint> points,
+                                        const DbscanLabels& labels,
+                                        int min_pts) {
+  std::vector<std::vector<ObjectId>> members(labels.num_clusters);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels.label[i] >= 0) {
+      members[labels.label[i]].push_back(points[i].oid);
+    }
+  }
+  std::vector<ObjectSet> clusters;
+  clusters.reserve(members.size());
+  for (auto& ids : members) {
+    if (ids.size() < static_cast<size_t>(min_pts)) continue;
+    clusters.emplace_back(std::move(ids));
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+}  // namespace
+
+std::vector<ObjectSet> Dbscan(std::span<const SnapshotPoint> points,
+                              double eps, int min_pts) {
+  DbscanLabels labels = RunDbscan(points, eps, min_pts);
+  return LabelsToClusters(points, labels, min_pts);
+}
+
+std::vector<ObjectSet> DbscanSubset(std::span<const SnapshotPoint> points,
+                                    const ObjectSet& subset, double eps,
+                                    int min_pts) {
+  std::vector<SnapshotPoint> filtered;
+  filtered.reserve(subset.size());
+  for (const SnapshotPoint& p : points) {
+    if (subset.Contains(p.oid)) filtered.push_back(p);
+  }
+  return Dbscan(filtered, eps, min_pts);
+}
+
+DbscanLabels DbscanLabelled(std::span<const SnapshotPoint> points, double eps,
+                            int min_pts) {
+  return RunDbscan(points, eps, min_pts);
+}
+
+}  // namespace k2

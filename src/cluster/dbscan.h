@@ -1,0 +1,39 @@
+// DBSCAN over one snapshot, producing the (m,eps)-clusters of paper Def. 2:
+// maximal density-connected object sets of size >= m. A point counts itself
+// in its eps-neighbourhood (Sec. 3.1), matching the original DBSCAN minPts
+// convention used by all convoy papers.
+#ifndef K2_CLUSTER_DBSCAN_H_
+#define K2_CLUSTER_DBSCAN_H_
+
+#include <span>
+#include <vector>
+
+#include "common/object_set.h"
+#include "common/types.h"
+
+namespace k2 {
+
+/// Clusters the snapshot and returns the (m,eps)-clusters as object-id sets
+/// in canonical (lexicographic) order. Border points are attached to the
+/// first cluster whose core reaches them, per the original DBSCAN.
+std::vector<ObjectSet> Dbscan(std::span<const SnapshotPoint> points,
+                              double eps, int min_pts);
+
+/// DBSCAN restricted to snapshot points whose object id occurs in `subset`
+/// (the reCluster(DB[t]|O) primitive of Algorithm 2 / Sec. 4.3).
+std::vector<ObjectSet> DbscanSubset(std::span<const SnapshotPoint> points,
+                                    const ObjectSet& subset, double eps,
+                                    int min_pts);
+
+/// Per-point cluster labels; -1 = noise. Exposed for tests and for SPARE's
+/// snapshot-clustering phase, which needs cluster identities, not just sets.
+struct DbscanLabels {
+  std::vector<int32_t> label;  // parallel to the input span
+  int32_t num_clusters = 0;
+};
+DbscanLabels DbscanLabelled(std::span<const SnapshotPoint> points, double eps,
+                            int min_pts);
+
+}  // namespace k2
+
+#endif  // K2_CLUSTER_DBSCAN_H_

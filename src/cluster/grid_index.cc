@@ -1,0 +1,43 @@
+#include "cluster/grid_index.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace k2 {
+
+GridIndex::GridIndex(std::span<const SnapshotPoint> points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  K2_CHECK(cell_size > 0.0);
+  cells_.reserve(points.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    uint64_t key = PackKey(CellCoord(points_[i].x), CellCoord(points_[i].y));
+    cells_[key].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void GridIndex::Neighbors(size_t i, double eps,
+                          std::vector<uint32_t>* out) const {
+  NeighborsOf(points_[i].x, points_[i].y, eps, out);
+}
+
+void GridIndex::NeighborsOf(double x, double y, double eps,
+                            std::vector<uint32_t>* out) const {
+  const double eps2 = eps * eps;
+  const int64_t cx = CellCoord(x);
+  const int64_t cy = CellCoord(y);
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      auto it = cells_.find(PackKey(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (uint32_t j : it->second) {
+        const SnapshotPoint& q = points_[j];
+        const double ddx = q.x - x;
+        const double ddy = q.y - y;
+        if (ddx * ddx + ddy * ddy <= eps2) out->push_back(j);
+      }
+    }
+  }
+}
+
+}  // namespace k2

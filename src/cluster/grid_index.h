@@ -1,0 +1,54 @@
+// Uniform-grid spatial index over one snapshot. With cell size = eps, the
+// eps-neighbourhood of a point is contained in the 3x3 block of cells around
+// it, so DBSCAN's region queries run in expected O(1) per point instead of
+// the O(n) scan that the paper identifies as the bottleneck of the baselines.
+#ifndef K2_CLUSTER_GRID_INDEX_H_
+#define K2_CLUSTER_GRID_INDEX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace k2 {
+
+class GridIndex {
+ public:
+  /// Indexes `points` with square cells of side `cell_size` (> 0). The span
+  /// must stay alive for the lifetime of the index.
+  GridIndex(std::span<const SnapshotPoint> points, double cell_size);
+
+  /// Appends to `out` the indices of all points within `eps` of point `i`
+  /// (including `i` itself), matching NH(p, eps) of paper Sec. 3.1.
+  /// `eps` must be <= the cell size used at construction.
+  void Neighbors(size_t i, double eps, std::vector<uint32_t>* out) const;
+
+  /// Same query for an arbitrary location.
+  void NeighborsOf(double x, double y, double eps,
+                   std::vector<uint32_t>* out) const;
+
+  size_t num_points() const { return points_.size(); }
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  /// Packs a signed cell coordinate pair into one 64-bit map key.
+  static uint64_t PackKey(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+
+  int64_t CellCoord(double v) const {
+    return static_cast<int64_t>(std::floor(v / cell_size_));
+  }
+
+  std::span<const SnapshotPoint> points_;
+  double cell_size_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace k2
+
+#endif  // K2_CLUSTER_GRID_INDEX_H_

@@ -1,0 +1,22 @@
+#include "cluster/store_clustering.h"
+
+#include "cluster/dbscan.h"
+
+namespace k2 {
+
+Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
+                                               const MiningParams& params) {
+  std::vector<SnapshotPoint> points;
+  K2_RETURN_NOT_OK(store->ScanTimestamp(t, &points));
+  return Dbscan(points, params.eps, params.m);
+}
+
+Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
+                                         const ObjectSet& objects,
+                                         const MiningParams& params) {
+  std::vector<SnapshotPoint> points;
+  K2_RETURN_NOT_OK(store->GetPoints(t, objects, &points));
+  return Dbscan(points, params.eps, params.m);
+}
+
+}  // namespace k2

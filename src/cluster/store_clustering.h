@@ -1,0 +1,28 @@
+// Clustering primitives expressed against the Store interface — the two data
+// access patterns of k/2-hop (Sec. 5): full-snapshot clustering at benchmark
+// points and restricted re-clustering of candidate objects elsewhere.
+#ifndef K2_CLUSTER_STORE_CLUSTERING_H_
+#define K2_CLUSTER_STORE_CLUSTERING_H_
+
+#include <vector>
+
+#include "common/object_set.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+/// Scans the full snapshot at `t` and returns its (m,eps)-clusters.
+Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
+                                               const MiningParams& params);
+
+/// reCluster(DB[t]|O): fetches only the points of `objects` at `t` (random
+/// point reads) and clusters them. This is the pruned access path.
+Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
+                                         const ObjectSet& objects,
+                                         const MiningParams& params);
+
+}  // namespace k2
+
+#endif  // K2_CLUSTER_STORE_CLUSTERING_H_

@@ -1,0 +1,32 @@
+// CHECK-style invariant macros (Google style): violations are programming
+// errors and abort the process with a diagnostic.
+#ifndef K2_COMMON_CHECK_H_
+#define K2_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace k2::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "K2_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace k2::internal
+
+#define K2_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) ::k2::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define K2_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::k2::Status _k2_check_status = (expr);                                \
+    if (!_k2_check_status.ok())                                            \
+      ::k2::internal::CheckFailed(__FILE__, __LINE__,                      \
+                                  _k2_check_status.ToString().c_str());    \
+  } while (false)
+
+#endif  // K2_COMMON_CHECK_H_

@@ -1,0 +1,59 @@
+#include "common/convoy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace k2 {
+
+std::string Convoy::DebugString() const {
+  std::ostringstream os;
+  os << '(' << objects.DebugString() << ", [" << start << ", " << end << "])";
+  return os.str();
+}
+
+bool MaximalConvoySet::Insert(Convoy v) {
+  for (const Convoy& w : convoys_) {
+    if (v.IsSubConvoyOf(w)) return false;  // dominated (or duplicate)
+  }
+  // Evict members dominated by v.
+  convoys_.erase(std::remove_if(convoys_.begin(), convoys_.end(),
+                                [&](const Convoy& w) {
+                                  return w.IsStrictSubConvoyOf(v);
+                                }),
+                 convoys_.end());
+  convoys_.push_back(std::move(v));
+  return true;
+}
+
+std::vector<Convoy> MaximalConvoySet::TakeSorted() {
+  SortConvoys(&convoys_);
+  return std::move(convoys_);
+}
+
+void SortConvoys(std::vector<Convoy>* convoys) {
+  std::sort(convoys->begin(), convoys->end());
+}
+
+std::vector<Convoy> FilterMaximal(std::vector<Convoy> convoys) {
+  MaximalConvoySet set;
+  for (Convoy& v : convoys) set.Insert(std::move(v));
+  return set.TakeSorted();
+}
+
+std::vector<Convoy> FilterMinLength(std::vector<Convoy> convoys, int k) {
+  convoys.erase(std::remove_if(convoys.begin(), convoys.end(),
+                               [k](const Convoy& v) { return v.length() < k; }),
+                convoys.end());
+  return convoys;
+}
+
+std::string ConvoysDebugString(const std::vector<Convoy>& convoys) {
+  std::ostringstream os;
+  os << convoys.size() << " convoy(s)\n";
+  for (const Convoy& v : convoys) {
+    os << "  " << v.DebugString() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace k2

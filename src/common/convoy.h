@@ -1,0 +1,89 @@
+// Convoy value type and the maximal-set maintenance used by the paper's
+// `update()` operation (Sec. 4.4 / Algorithm 3): the result set never holds a
+// convoy that is a sub-convoy of another member.
+#ifndef K2_COMMON_CONVOY_H_
+#define K2_COMMON_CONVOY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/object_set.h"
+#include "common/types.h"
+
+namespace k2 {
+
+/// A convoy candidate or result: objects `objects` moving together over the
+/// inclusive tick interval [start, end] (Def. 3).
+struct Convoy {
+  ObjectSet objects;
+  Timestamp start = 0;
+  Timestamp end = -1;
+
+  Convoy() = default;
+  Convoy(ObjectSet objs, Timestamp s, Timestamp e)
+      : objects(std::move(objs)), start(s), end(e) {}
+
+  /// Lifespan length |T(v)| in ticks.
+  int64_t length() const {
+    return end < start ? 0 : static_cast<int64_t>(end) - start + 1;
+  }
+  TimeRange lifespan() const { return {start, end}; }
+
+  /// Def. 5: O(this) ⊆ O(w) and T(this) ⊆ T(w).
+  bool IsSubConvoyOf(const Convoy& w) const {
+    return start >= w.start && end <= w.end && objects.IsSubsetOf(w.objects);
+  }
+  bool IsStrictSubConvoyOf(const Convoy& w) const {
+    return IsSubConvoyOf(w) && !(*this == w);
+  }
+
+  /// "({1, 2, 3}, [4, 9])".
+  std::string DebugString() const;
+
+  friend bool operator==(const Convoy& a, const Convoy& b) {
+    return a.start == b.start && a.end == b.end && a.objects == b.objects;
+  }
+  /// Canonical order: by start, end, then object set.
+  friend bool operator<(const Convoy& a, const Convoy& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    return a.objects < b.objects;
+  }
+};
+
+/// Result-set container enforcing Def. 6-style maximality: `Insert` is the
+/// paper's `update()` — the new convoy is dropped when dominated by a member,
+/// and members dominated by it are evicted.
+class MaximalConvoySet {
+ public:
+  /// Returns true when `v` entered the set (i.e. was not dominated).
+  bool Insert(Convoy v);
+
+  size_t size() const { return convoys_.size(); }
+  bool empty() const { return convoys_.empty(); }
+  const std::vector<Convoy>& convoys() const { return convoys_; }
+
+  /// Moves the content out in canonical sorted order.
+  std::vector<Convoy> TakeSorted();
+
+ private:
+  std::vector<Convoy> convoys_;
+};
+
+/// Sorts into the canonical order used to compare miner outputs.
+void SortConvoys(std::vector<Convoy>* convoys);
+
+/// Removes every convoy that is a strict sub-convoy of another element and
+/// removes exact duplicates; returns the surviving convoys in canonical
+/// order.
+std::vector<Convoy> FilterMaximal(std::vector<Convoy> convoys);
+
+/// Drops convoys shorter than `k` ticks.
+std::vector<Convoy> FilterMinLength(std::vector<Convoy> convoys, int k);
+
+/// Multi-line dump for examples and debugging.
+std::string ConvoysDebugString(const std::vector<Convoy>& convoys);
+
+}  // namespace k2
+
+#endif  // K2_COMMON_CONVOY_H_

@@ -1,0 +1,117 @@
+// Minimal Status / Result error-propagation types, following the Apache
+// Arrow idiom: fallible operations (storage, IO) return Status or Result<T>
+// instead of throwing; algorithmic code that cannot fail returns values.
+#ifndef K2_COMMON_STATUS_H_
+#define K2_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace k2 {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfMemory = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a human-readable name for `code` ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& MoveValue() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define K2_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::k2::Status _k2_status = (expr);          \
+    if (!_k2_status.ok()) return _k2_status;   \
+  } while (false)
+
+#define K2_CONCAT_IMPL(a, b) a##b
+#define K2_CONCAT(a, b) K2_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define K2_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto K2_CONCAT(_k2_result_, __LINE__) = (rexpr);               \
+  if (!K2_CONCAT(_k2_result_, __LINE__).ok())                    \
+    return K2_CONCAT(_k2_result_, __LINE__).status();            \
+  lhs = K2_CONCAT(_k2_result_, __LINE__).MoveValue()
+
+}  // namespace k2
+
+#endif  // K2_COMMON_STATUS_H_

@@ -1,0 +1,83 @@
+// Wall-clock timing utilities: a simple stopwatch and a named phase timer
+// used to reproduce the per-phase breakdown of Fig. 8i.
+#ifndef K2_COMMON_STOPWATCH_H_
+#define K2_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace k2 {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases; phases keep insertion order.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to phase `name`, creating it on first use.
+  void Add(const std::string& name, double seconds) {
+    for (auto& [n, s] : phases_) {
+      if (n == name) {
+        s += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
+  /// Runs `fn` and charges its wall time to phase `name`.
+  template <typename Fn>
+  auto Time(const std::string& name, Fn&& fn) {
+    Stopwatch sw;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      Add(name, sw.ElapsedSeconds());
+    } else {
+      auto result = fn();
+      Add(name, sw.ElapsedSeconds());
+      return result;
+    }
+  }
+
+  double Get(const std::string& name) const {
+    for (const auto& [n, s] : phases_) {
+      if (n == name) return s;
+    }
+    return 0.0;
+  }
+
+  double Total() const {
+    double t = 0.0;
+    for (const auto& [n, s] : phases_) t += s;
+    return t;
+  }
+
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  void Clear() { phases_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace k2
+
+#endif  // K2_COMMON_STOPWATCH_H_

@@ -1,0 +1,13 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace k2 {
+
+std::string MiningParams::DebugString() const {
+  std::ostringstream os;
+  os << "MiningParams{m=" << m << ", k=" << k << ", eps=" << eps << "}";
+  return os.str();
+}
+
+}  // namespace k2

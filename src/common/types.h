@@ -1,0 +1,88 @@
+// Core scalar types shared by every module of the k/2-hop library.
+#ifndef K2_COMMON_TYPES_H_
+#define K2_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace k2 {
+
+/// Identifier of a moving object. Object ids are dense small integers in all
+/// generated datasets, but nothing in the library relies on density.
+using ObjectId = uint32_t;
+
+/// Discrete time instant (a "tick"). Datasets are sampled on a uniform grid,
+/// so consecutive timestamps differ by 1. Negative values are valid.
+using Timestamp = int32_t;
+
+/// Sentinel for "no timestamp".
+inline constexpr Timestamp kInvalidTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+/// One row of movement data: object `oid` was at planar position (x, y)
+/// metres at time instant `t`. This is the `<oid, x, y, t>` schema of the
+/// paper (Sec. 3.2) with time first so that the natural record order is the
+/// clustered-index order `(t, oid)` used by all storage engines.
+struct PointRecord {
+  Timestamp t = 0;
+  ObjectId oid = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const PointRecord& a, const PointRecord& b) {
+    return a.t == b.t && a.oid == b.oid && a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Ordering by composite key (t, oid): the clustered-index order.
+inline bool RecordKeyLess(const PointRecord& a, const PointRecord& b) {
+  if (a.t != b.t) return a.t < b.t;
+  return a.oid < b.oid;
+}
+
+/// A point as seen inside one snapshot (timestamp implied by context).
+struct SnapshotPoint {
+  ObjectId oid = 0;
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const SnapshotPoint& a, const SnapshotPoint& b) {
+    return a.oid == b.oid && a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Inclusive time interval [start, end].
+struct TimeRange {
+  Timestamp start = 0;
+  Timestamp end = -1;
+
+  /// Number of ticks in the range; 0 when empty.
+  int64_t length() const {
+    return end < start ? 0 : static_cast<int64_t>(end) - start + 1;
+  }
+  bool empty() const { return end < start; }
+  bool Contains(Timestamp t) const { return t >= start && t <= end; }
+
+  friend bool operator==(const TimeRange& a, const TimeRange& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// User parameters of the FC convoy mining problem (Def. 8): minimum convoy
+/// size `m`, minimum lifespan length `k` (in ticks), and the DBSCAN distance
+/// threshold `eps` (metres).
+struct MiningParams {
+  int m = 2;
+  int k = 2;
+  double eps = 1.0;
+
+  /// True when the parameters describe a well-posed mining problem.
+  bool Valid() const { return m >= 2 && k >= 2 && eps > 0.0; }
+
+  std::string DebugString() const;
+};
+
+}  // namespace k2
+
+#endif  // K2_COMMON_TYPES_H_

@@ -1,0 +1,294 @@
+#include "core/k2hop.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "cluster/store_clustering.h"
+
+namespace k2 {
+
+std::string K2HopStats::DebugString() const {
+  std::ostringstream os;
+  os << "K2HopStats{benchmarks=" << benchmark_points
+     << ", windows=" << hop_windows << " (mined " << hop_windows_mined << ")"
+     << ", candidate_clusters=" << candidate_clusters
+     << ", spanning=" << spanning_convoys << ", merged=" << merged_convoys
+     << ", prevalidation=" << prevalidation_convoys
+     << ", points_processed=" << points_processed() << "/" << total_points
+     << " (pruned " << pruning_ratio() * 100.0 << "%)}";
+  return os.str();
+}
+
+std::vector<Timestamp> BenchmarkPoints(TimeRange range, int k) {
+  std::vector<Timestamp> points;
+  if (range.empty() || k < 2) return points;
+  const Timestamp hop = std::max(1, k / 2);
+  for (Timestamp b = range.start; b <= range.end; b += hop) {
+    points.push_back(b);
+  }
+  return points;
+}
+
+std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
+                                         const std::vector<ObjectSet>& right,
+                                         int m) {
+  std::vector<ObjectSet> out;
+  for (const ObjectSet& a : left) {
+    for (const ObjectSet& b : right) {
+      ObjectSet x = ObjectSet::Intersect(a, b);
+      if (x.size() >= static_cast<size_t>(m)) out.push_back(std::move(x));
+    }
+  }
+  // Clusters of one tick are disjoint, so the intersections are pairwise
+  // disjoint as well; canonical order only.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ObjectSet>> HwmtSpanning(
+    Store* store, const MiningParams& params, Timestamp b_left,
+    Timestamp b_right, const std::vector<ObjectSet>& candidates,
+    bool binary_order, bool verify_right_benchmark) {
+  std::vector<ObjectSet> surviving = candidates;
+  if (surviving.empty()) return surviving;
+
+  // Probe order over the window interior (the HWMT of Fig. 4, processed
+  // level by level == BinarySubdivisionOrder minus the endpoints).
+  std::vector<Timestamp> order;
+  if (binary_order) {
+    const std::vector<Timestamp> with_endpoints =
+        BinarySubdivisionOrder({b_left, b_right});
+    order.assign(with_endpoints.begin() + std::min<size_t>(
+                                              2, with_endpoints.size()),
+                 with_endpoints.end());
+  } else {
+    for (Timestamp t = b_left + 1; t < b_right; ++t) order.push_back(t);
+  }
+  if (verify_right_benchmark) order.insert(order.begin(), b_right);
+
+  for (Timestamp t : order) {
+    std::vector<ObjectSet> next;
+    for (const ObjectSet& candidate : surviving) {
+      K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
+                          ReCluster(store, t, candidate, params));
+      for (ObjectSet& c : clusters) next.push_back(std::move(c));
+    }
+    if (next.empty()) return next;  // no spanning convoy in this window
+    surviving = std::move(next);
+  }
+  std::sort(surviving.begin(), surviving.end());
+  return surviving;
+}
+
+namespace {
+
+/// Candidate map used during merge/extension: object set -> earliest start.
+using StartMap = std::unordered_map<ObjectSet, Timestamp, ObjectSetHash>;
+
+void AddEarliest(StartMap* map, ObjectSet set, Timestamp start) {
+  auto [it, inserted] = map->try_emplace(std::move(set), start);
+  if (!inserted && start < it->second) it->second = start;
+}
+
+}  // namespace
+
+std::vector<Convoy> MergeSpanningConvoys(
+    const std::vector<std::vector<ObjectSet>>& spanning,
+    const std::vector<Timestamp>& benchmarks, int m) {
+  MaximalConvoySet results;
+  // Active convoys all end at the benchmark point that starts the window
+  // being processed; map value = convoy start tick.
+  StartMap active;
+  for (size_t w = 0; w < spanning.size(); ++w) {
+    const Timestamp window_start = benchmarks[w];
+    const Timestamp window_end = benchmarks[w + 1];
+    StartMap next;
+    for (const auto& [set, start] : active) {
+      bool fully_extended = false;
+      for (const ObjectSet& s : spanning[w]) {
+        ObjectSet x = ObjectSet::Intersect(set, s);
+        if (x.size() < static_cast<size_t>(m)) continue;
+        if (x == set) fully_extended = true;
+        AddEarliest(&next, std::move(x), start);
+      }
+      if (!fully_extended) {
+        results.Insert(Convoy(set, start, window_start));
+      }
+    }
+    for (const ObjectSet& s : spanning[w]) {
+      AddEarliest(&next, s, window_start);
+    }
+    active = std::move(next);
+    (void)window_end;
+  }
+  if (!benchmarks.empty()) {
+    const Timestamp last = benchmarks.back();
+    for (auto& [set, start] : active) {
+      results.Insert(Convoy(set, start, last));
+    }
+  }
+  return results.TakeSorted();
+}
+
+namespace {
+
+/// Shared walker for ExtendRight / ExtendLeft. `dir` = +1 walks toward
+/// `limit` on the right, -1 toward the left.
+Result<std::vector<Convoy>> ExtendDirected(Store* store,
+                                           const MiningParams& params,
+                                           std::vector<Convoy> convoys,
+                                           Timestamp limit, int dir) {
+  MaximalConvoySet results;
+  for (Convoy& v : convoys) {
+    // frontier: object set -> fixed boundary of the other side.
+    struct Frontier {
+      ObjectSet set;
+      Timestamp other_side;
+    };
+    std::vector<Frontier> frontier{
+        {v.objects, dir > 0 ? v.start : v.end}};
+    const Timestamp from = dir > 0 ? v.end : v.start;
+    bool done = false;
+    for (Timestamp t = from + dir; !done && (dir > 0 ? t <= limit : t >= limit);
+         t += dir) {
+      // Value = the fixed other-side boundary. AddEarliest's min() is safe
+      // only because every frontier entry of one convoy shares the same
+      // other_side; do not batch different convoys into one walk.
+      StartMap next;
+      for (Frontier& f : frontier) {
+        K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
+                            ReCluster(store, t, f.set, params));
+        bool found_self = false;
+        for (ObjectSet& c : clusters) {
+          if (c == f.set) found_self = true;
+          AddEarliest(&next, std::move(c), f.other_side);
+        }
+        if (!found_self) {
+          // f could not be extended in its current shape: emit it.
+          const Timestamp cur_end = t - dir;
+          results.Insert(dir > 0 ? Convoy(f.set, f.other_side, cur_end)
+                                 : Convoy(f.set, cur_end, f.other_side));
+        }
+      }
+      frontier.clear();
+      for (auto& [set, other] : next) {
+        frontier.push_back(Frontier{set, other});
+      }
+      done = frontier.empty();
+    }
+    // Whatever is still alive reached the dataset boundary.
+    for (Frontier& f : frontier) {
+      results.Insert(dir > 0 ? Convoy(f.set, f.other_side, limit)
+                             : Convoy(f.set, limit, f.other_side));
+    }
+  }
+  return results.TakeSorted();
+}
+
+}  // namespace
+
+Result<std::vector<Convoy>> ExtendRight(Store* store,
+                                        const MiningParams& params,
+                                        std::vector<Convoy> convoys,
+                                        Timestamp dataset_end) {
+  return ExtendDirected(store, params, std::move(convoys), dataset_end, +1);
+}
+
+Result<std::vector<Convoy>> ExtendLeft(Store* store, const MiningParams& params,
+                                       std::vector<Convoy> convoys,
+                                       Timestamp dataset_start) {
+  return ExtendDirected(store, params, std::move(convoys), dataset_start, -1);
+}
+
+Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
+                                      const K2HopOptions& options,
+                                      K2HopStats* stats) {
+  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2HopStats local;
+  K2HopStats* s = stats != nullptr ? stats : &local;
+  const IoStats io_before = store->io_stats();
+  s->total_points = store->num_points();
+
+  const TimeRange range = store->time_range();
+  if (range.length() < params.k) return std::vector<Convoy>{};
+
+  // Step 1: cluster the benchmark points.
+  Stopwatch sw;
+  const std::vector<Timestamp> benchmarks = BenchmarkPoints(range, params.k);
+  s->benchmark_points = benchmarks.size();
+  std::vector<std::vector<ObjectSet>> benchmark_clusters(benchmarks.size());
+  for (size_t i = 0; i < benchmarks.size(); ++i) {
+    K2_ASSIGN_OR_RETURN(benchmark_clusters[i],
+                        ClusterSnapshot(store, benchmarks[i], params));
+  }
+  s->phases.Add("benchmark", sw.ElapsedSeconds());
+
+  // Step 2: candidate clusters per hop-window.
+  sw.Restart();
+  const size_t num_windows = benchmarks.size() - 1;
+  s->hop_windows = num_windows;
+  std::vector<std::vector<ObjectSet>> candidates(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    if (options.candidate_pruning) {
+      candidates[w] = CandidateClusters(benchmark_clusters[w],
+                                        benchmark_clusters[w + 1], params.m);
+    } else {
+      candidates[w] = benchmark_clusters[w];  // ablation: no intersection
+    }
+    s->candidate_clusters += candidates[w].size();
+    if (!candidates[w].empty()) ++s->hop_windows_mined;
+  }
+  s->phases.Add("candidates", sw.ElapsedSeconds());
+
+  // Step 3: HWMT inside each window.
+  sw.Restart();
+  std::vector<std::vector<ObjectSet>> spanning(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    if (candidates[w].empty()) continue;
+    K2_ASSIGN_OR_RETURN(
+        spanning[w],
+        HwmtSpanning(store, params, benchmarks[w], benchmarks[w + 1],
+                     candidates[w], options.hwmt_binary_order,
+                     /*verify_right_benchmark=*/!options.candidate_pruning));
+    s->spanning_convoys += spanning[w].size();
+  }
+  s->phases.Add("HWMT", sw.ElapsedSeconds());
+
+  // Step 4: merge into maximal spanning convoys.
+  sw.Restart();
+  std::vector<Convoy> merged =
+      MergeSpanningConvoys(spanning, benchmarks, params.m);
+  s->merged_convoys = merged.size();
+  s->phases.Add("merge", sw.ElapsedSeconds());
+
+  // Step 5: extension to exact lifespans (right first, then left, as in
+  // Sec. 4.5); the k filter applies only after the left pass.
+  sw.Restart();
+  K2_ASSIGN_OR_RETURN(merged, ExtendRight(store, params, std::move(merged),
+                                          range.end));
+  s->phases.Add("extend-right", sw.ElapsedSeconds());
+  sw.Restart();
+  K2_ASSIGN_OR_RETURN(merged, ExtendLeft(store, params, std::move(merged),
+                                         range.start));
+  merged = FilterMinLength(std::move(merged), params.k);
+  s->phases.Add("extend-left", sw.ElapsedSeconds());
+  s->prevalidation_convoys = merged.size();
+
+  // Step 6: fully connected validation.
+  std::vector<Convoy> result;
+  if (options.validate) {
+    sw.Restart();
+    K2_ASSIGN_OR_RETURN(result,
+                        ValidateFullyConnected(store, std::move(merged), params,
+                                               /*recursive=*/true,
+                                               &s->validation));
+    s->phases.Add("validation", sw.ElapsedSeconds());
+  } else {
+    result = std::move(merged);
+  }
+  s->io = IoStats::Delta(store->io_stats(), io_before);
+  return result;
+}
+
+}  // namespace k2

@@ -1,0 +1,108 @@
+// k/2-hop — the paper's contribution (Sec. 4). Benchmark points every
+// ⌊k/2⌋ ticks are fully clustered; everything else touches only candidate
+// objects: candidate clusters (set-wise intersection of adjacent benchmark
+// cluster sets), HWMT verification inside hop-windows, DCM merge across
+// windows, right/left extension to exact lifespans, and recursive FC
+// validation.
+#ifndef K2_CORE_K2HOP_H_
+#define K2_CORE_K2HOP_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/validation.h"
+#include "common/convoy.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/types.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+struct K2HopOptions {
+  /// HWMT probes hop-window ticks in binary-subdivision (farthest-first)
+  /// order; false = naive left-to-right (ablation bench).
+  bool hwmt_binary_order = true;
+  /// Intersect adjacent benchmark cluster sets into candidate clusters
+  /// (Lemma 5); false = feed benchmark clusters directly to HWMT and verify
+  /// the right benchmark inside the window (ablation bench).
+  bool candidate_pruning = true;
+  /// Run the final FC validation; false stops after extension and returns
+  /// the (partially connected) extended candidates.
+  bool validate = true;
+};
+
+struct K2HopStats {
+  /// Wall time per phase, in the paper's Fig. 8i vocabulary: "benchmark",
+  /// "candidates", "HWMT", "merge", "extend-right", "extend-left",
+  /// "validation".
+  PhaseTimer phases;
+  size_t benchmark_points = 0;
+  size_t hop_windows = 0;
+  size_t hop_windows_mined = 0;  ///< windows with a non-empty candidate set
+  size_t candidate_clusters = 0;
+  size_t spanning_convoys = 0;   ///< 1st-order spanning convoys (all windows)
+  size_t merged_convoys = 0;     ///< maximal spanning convoys after merge
+  size_t prevalidation_convoys = 0;  ///< Fig. 8j series
+  ValidationStats validation;
+  IoStats io;               ///< store IO consumed by the run
+  uint64_t total_points = 0;  ///< rows in the store
+
+  /// The paper's "points processed" (Table 5).
+  uint64_t points_processed() const { return io.points_read(); }
+  /// Fraction of the dataset never touched (Table 5's pruning %).
+  double pruning_ratio() const {
+    if (total_points == 0) return 0.0;
+    const double processed = static_cast<double>(points_processed());
+    return processed >= static_cast<double>(total_points)
+               ? 0.0
+               : 1.0 - processed / static_cast<double>(total_points);
+  }
+  std::string DebugString() const;
+};
+
+/// Mines all maximal fully connected (m,eps)-convoys with lifespan >= k
+/// (Algorithm 1). `stats` may be null.
+Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
+                                      const K2HopOptions& options = {},
+                                      K2HopStats* stats = nullptr);
+
+// --- individual phases, exposed for tests and ablations -------------------
+
+/// Benchmark ticks start + i*⌊k/2⌋ covering the store's range.
+std::vector<Timestamp> BenchmarkPoints(TimeRange range, int k);
+
+/// Candidate clusters CC_i of one hop-window: pairwise intersections of the
+/// adjacent benchmark cluster sets, keeping sets of size >= m (Sec. 4.2).
+std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
+                                         const std::vector<ObjectSet>& right,
+                                         int m);
+
+/// HWMT (Algorithm 2): verifies candidates at every tick strictly inside
+/// (b_left, b_right); when `verify_right_benchmark`, b_right is probed too
+/// (used by the no-pruning ablation). Returns the surviving object sets.
+Result<std::vector<ObjectSet>> HwmtSpanning(
+    Store* store, const MiningParams& params, Timestamp b_left,
+    Timestamp b_right, const std::vector<ObjectSet>& candidates,
+    bool binary_order = true, bool verify_right_benchmark = false);
+
+/// DCM merge (Sec. 4.4): folds per-window spanning convoys left to right
+/// into maximal spanning convoys. `spanning[i]` spans
+/// [benchmarks[i], benchmarks[i+1]].
+std::vector<Convoy> MergeSpanningConvoys(
+    const std::vector<std::vector<ObjectSet>>& spanning,
+    const std::vector<Timestamp>& benchmarks, int m);
+
+/// Algorithm 3 and its mirror: extends each convoy tick-by-tick until its
+/// objects stop clustering together; splits continue as smaller convoys.
+Result<std::vector<Convoy>> ExtendRight(Store* store,
+                                        const MiningParams& params,
+                                        std::vector<Convoy> convoys,
+                                        Timestamp dataset_end);
+Result<std::vector<Convoy>> ExtendLeft(Store* store, const MiningParams& params,
+                                       std::vector<Convoy> convoys,
+                                       Timestamp dataset_start);
+
+}  // namespace k2
+
+#endif  // K2_CORE_K2HOP_H_

@@ -1,0 +1,82 @@
+#include "gen/brinkhoff.h"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace k2 {
+
+std::string BrinkhoffStats::DebugString() const {
+  std::ostringstream os;
+  os << "BrinkhoffStats{nodes=" << num_nodes << ", edges=" << num_edges
+     << ", width=" << data_space_width << ", height=" << data_space_height
+     << ", max_time=" << max_time << ", moving_objects=" << moving_objects
+     << ", points=" << points << "}";
+  return os.str();
+}
+
+Dataset GenerateBrinkhoff(const BrinkhoffParams& params,
+                          BrinkhoffStats* stats) {
+  Rng rng(params.seed);
+  RoadNetwork net = RoadNetwork::MakeGrid(params.grid, params.seed ^ 0x9e37);
+
+  struct ActiveObject {
+    ObjectId oid;
+    PathMover mover;
+  };
+  std::vector<ActiveObject> active;
+  DatasetBuilder builder;
+  ObjectId next_oid = 0;
+  uint64_t points = 0;
+
+  auto spawn = [&](int count) {
+    std::vector<uint32_t> path;
+    for (int i = 0; i < count; ++i) {
+      // Retry until a routable source/destination pair is found; the grid is
+      // well connected so a couple of attempts suffice.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const uint32_t src = net.RandomNode(&rng);
+        const uint32_t dst = net.RandomNode(&rng);
+        if (src != dst && net.FindPath(src, dst, &path)) {
+          active.push_back(ActiveObject{next_oid++, PathMover(&net, path)});
+          break;
+        }
+      }
+    }
+  };
+
+  spawn(params.obj_begin);
+  for (Timestamp t = 0; t < params.max_time; ++t) {
+    if (t > 0) spawn(params.obj_time);
+    size_t write = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      ActiveObject& obj = active[i];
+      const RoadNode pos =
+          t == 0 ? obj.mover.Position() : obj.mover.Step();
+      builder.Add(t, obj.oid, pos.x + rng.Gaussian(0.0, params.gps_noise),
+                  pos.y + rng.Gaussian(0.0, params.gps_noise));
+      ++points;
+      // Objects disappear after reporting their destination once.
+      if (!obj.mover.done()) {
+        if (write != i) active[write] = std::move(active[i]);
+        ++write;
+      }
+    }
+    active.erase(active.begin() + write, active.end());
+  }
+
+  if (stats != nullptr) {
+    stats->num_nodes = net.num_nodes();
+    stats->num_edges = net.num_edges();
+    stats->data_space_width = net.width();
+    stats->data_space_height = net.height();
+    stats->max_time = params.max_time;
+    stats->moving_objects = next_oid;
+    stats->points = points;
+  }
+  return builder.Build();
+}
+
+}  // namespace k2

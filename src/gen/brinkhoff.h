@@ -1,0 +1,44 @@
+// Brinkhoff-style network-based moving-object generator (paper Sec. 6.2.3,
+// Table 4): objects appear over time, route over a road network at per-edge
+// speeds, and disappear at their destination. Parameter names mirror the
+// original generator (ObjBegin, ObjTime, MaxTime).
+#ifndef K2_GEN_BRINKHOFF_H_
+#define K2_GEN_BRINKHOFF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gen/road_network.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+struct BrinkhoffParams {
+  RoadNetwork::GridSpec grid;
+  int max_time = 1000;     ///< simulation ticks ("MaxTime")
+  int obj_begin = 400;     ///< objects alive at tick 0 ("ObjBegin")
+  int obj_time = 4;        ///< objects spawned per tick ("ObjTime")
+  double gps_noise = 2.0;  ///< metres of positional noise per sample
+  uint64_t seed = 42;
+};
+
+/// Properties of a generated dataset, printed by the Table-4 bench.
+struct BrinkhoffStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double data_space_width = 0.0;
+  double data_space_height = 0.0;
+  int max_time = 0;
+  uint64_t moving_objects = 0;
+  uint64_t points = 0;
+
+  std::string DebugString() const;
+};
+
+/// Runs the simulation; `stats` may be null.
+Dataset GenerateBrinkhoff(const BrinkhoffParams& params,
+                          BrinkhoffStats* stats = nullptr);
+
+}  // namespace k2
+
+#endif  // K2_GEN_BRINKHOFF_H_

@@ -1,0 +1,197 @@
+#include "gen/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace k2 {
+
+namespace {
+
+double Dist(const RoadNode& a, const RoadNode& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::MakeGrid(const GridSpec& spec, uint64_t seed) {
+  K2_CHECK(spec.nx >= 2 && spec.ny >= 2);
+  RoadNetwork net;
+  Rng rng(seed);
+
+  net.nodes_.resize(static_cast<size_t>(spec.nx) * spec.ny);
+  auto node_id = [&](int i, int j) {
+    return static_cast<uint32_t>(j * spec.nx + i);
+  };
+  for (int j = 0; j < spec.ny; ++j) {
+    for (int i = 0; i < spec.nx; ++i) {
+      RoadNode& n = net.nodes_[node_id(i, j)];
+      n.x = i * spec.spacing + rng.Gaussian(0.0, spec.jitter);
+      n.y = j * spec.spacing + rng.Gaussian(0.0, spec.jitter);
+    }
+  }
+  net.width_ = (spec.nx - 1) * spec.spacing;
+  net.height_ = (spec.ny - 1) * spec.spacing;
+
+  net.adjacency_.resize(net.nodes_.size());
+  auto edge_class = [&](int i0, int j0, int i1, int j1) {
+    // An edge lies on a highway when the shared row/column index is a
+    // multiple of highway_every; main roads halfway between highways.
+    if (i0 == i1) {  // vertical edge, column i0
+      if (i0 % spec.highway_every == 0) return 2;
+      if (i0 % spec.highway_every == spec.highway_every / 2) return 1;
+    } else {  // horizontal edge, row j0
+      if (j0 % spec.highway_every == 0) return 2;
+      if (j0 % spec.highway_every == spec.highway_every / 2) return 1;
+    }
+    (void)j1;
+    return 0;
+  };
+  auto speed_of = [&](int cls) {
+    switch (cls) {
+      case 2:
+        return spec.highway_speed;
+      case 1:
+        return spec.main_speed;
+      default:
+        return spec.side_speed;
+    }
+  };
+  auto add_edge = [&](uint32_t a, uint32_t b, int cls) {
+    const double len = Dist(net.nodes_[a], net.nodes_[b]);
+    const double speed = speed_of(cls);
+    net.adjacency_[a].push_back(RoadEdge{b, len, speed, cls});
+    net.adjacency_[b].push_back(RoadEdge{a, len, speed, cls});
+    net.num_edges_ += 1;  // undirected edge counted once
+    net.max_speed_ = std::max(net.max_speed_, speed);
+  };
+
+  for (int j = 0; j < spec.ny; ++j) {
+    for (int i = 0; i < spec.nx; ++i) {
+      if (i + 1 < spec.nx) {
+        const int cls = edge_class(i, j, i + 1, j);
+        if (cls > 0 || !rng.Bernoulli(spec.drop_probability)) {
+          add_edge(node_id(i, j), node_id(i + 1, j), cls);
+        }
+      }
+      if (j + 1 < spec.ny) {
+        const int cls = edge_class(i, j, i, j + 1);
+        if (cls > 0 || !rng.Bernoulli(spec.drop_probability)) {
+          add_edge(node_id(i, j), node_id(i, j + 1), cls);
+        }
+      }
+    }
+  }
+  return net;
+}
+
+bool RoadNetwork::FindPath(uint32_t src, uint32_t dst,
+                           std::vector<uint32_t>* path) const {
+  path->clear();
+  if (src == dst) {
+    path->push_back(src);
+    return true;
+  }
+  // A* on travel time with an admissible straight-line/max-speed heuristic.
+  struct QueueEntry {
+    double f;
+    uint32_t node;
+    bool operator>(const QueueEntry& o) const { return f > o.f; }
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(nodes_.size(), inf);
+  std::vector<uint32_t> parent(nodes_.size(), 0xffffffffu);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      open;
+  auto heuristic = [&](uint32_t n) {
+    return Dist(nodes_[n], nodes_[dst]) / max_speed_;
+  };
+  g[src] = 0.0;
+  open.push({heuristic(src), src});
+  while (!open.empty()) {
+    const QueueEntry top = open.top();
+    open.pop();
+    if (top.node == dst) break;
+    if (top.f > g[top.node] + heuristic(top.node) + 1e-9) continue;  // stale
+    for (const RoadEdge& e : adjacency_[top.node]) {
+      const double cand = g[top.node] + e.length / e.speed;
+      if (cand < g[e.to]) {
+        g[e.to] = cand;
+        parent[e.to] = top.node;
+        open.push({cand + heuristic(e.to), e.to});
+      }
+    }
+  }
+  if (g[dst] == inf) return false;
+  for (uint32_t n = dst; n != src; n = parent[n]) path->push_back(n);
+  path->push_back(src);
+  std::reverse(path->begin(), path->end());
+  return true;
+}
+
+uint32_t RoadNetwork::NearestNode(double x, double y) const {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const double dx = nodes_[i].x - x;
+    const double dy = nodes_[i].y - y;
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+PathMover::PathMover(const RoadNetwork* net, std::vector<uint32_t> path)
+    : net_(net), path_(std::move(path)) {
+  K2_CHECK(!path_.empty());
+  position_ = net_->node(path_[0]);
+  done_ = path_.size() < 2;
+}
+
+RoadNode PathMover::Step() {
+  if (done_) return position_;
+  // Travel one tick worth of distance, possibly across several legs.
+  const RoadEdge* edge = nullptr;
+  for (const RoadEdge& e : net_->OutEdges(path_[leg_])) {
+    if (e.to == path_[leg_ + 1]) {
+      edge = &e;
+      break;
+    }
+  }
+  K2_CHECK(edge != nullptr);
+  double budget = edge->speed;  // metres this tick (speed of current edge)
+  while (budget > 0.0 && !done_) {
+    const RoadNode& a = net_->node(path_[leg_]);
+    const RoadNode& b = net_->node(path_[leg_ + 1]);
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    const double remaining = len - offset_;
+    if (budget < remaining || len == 0.0) {
+      offset_ += budget;
+      const double f = len == 0.0 ? 1.0 : offset_ / len;
+      position_ = RoadNode{a.x + f * dx, a.y + f * dy};
+      return position_;
+    }
+    budget -= remaining;
+    ++leg_;
+    offset_ = 0.0;
+    if (leg_ + 1 >= path_.size()) {
+      position_ = net_->node(path_.back());
+      done_ = true;
+      return position_;
+    }
+  }
+  return position_;
+}
+
+}  // namespace k2

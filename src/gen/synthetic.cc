@@ -1,0 +1,91 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace k2 {
+
+Dataset GenerateRandomWalk(const RandomWalkSpec& spec) {
+  Rng rng(spec.seed);
+  DatasetBuilder builder;
+  builder.Reserve(static_cast<size_t>(spec.num_objects) * spec.num_ticks);
+  std::vector<double> xs(spec.num_objects), ys(spec.num_objects);
+  for (int o = 0; o < spec.num_objects; ++o) {
+    xs[o] = rng.Uniform(0.0, spec.area);
+    ys[o] = rng.Uniform(0.0, spec.area);
+  }
+  for (Timestamp t = 0; t < spec.num_ticks; ++t) {
+    for (int o = 0; o < spec.num_objects; ++o) {
+      if (t > 0) {
+        xs[o] = std::clamp(xs[o] + rng.Uniform(-spec.step, spec.step), 0.0,
+                           spec.area);
+        ys[o] = std::clamp(ys[o] + rng.Uniform(-spec.step, spec.step), 0.0,
+                           spec.area);
+      }
+      builder.Add(t, static_cast<ObjectId>(o), xs[o], ys[o]);
+    }
+  }
+  return builder.Build();
+}
+
+Dataset GeneratePlantedConvoys(const PlantedConvoySpec& spec) {
+  Rng rng(spec.seed);
+  DatasetBuilder builder;
+
+  ObjectId next_id = 0;
+  for (const PlantedGroup& group : spec.groups) {
+    // Leader trajectory for the "together" interval.
+    const int span = static_cast<int>(group.end - group.start + 1);
+    std::vector<double> lx(span), ly(span);
+    double x = rng.Uniform(0.0, spec.area);
+    double y = rng.Uniform(0.0, spec.area);
+    double heading = rng.Uniform(0.0, 6.283185307179586);
+    for (int i = 0; i < span; ++i) {
+      heading += rng.Uniform(-0.3, 0.3);
+      x += group.speed * std::cos(heading);
+      y += group.speed * std::sin(heading);
+      lx[i] = x;
+      ly[i] = y;
+    }
+    for (int member = 0; member < group.size; ++member) {
+      const ObjectId oid = next_id++;
+      // Fixed offset around the leader keeps members within
+      // member_spacing of each other for the whole interval.
+      const double angle = 6.283185307179586 * member / group.size;
+      const double ox = 0.5 * spec.member_spacing * std::cos(angle);
+      const double oy = 0.5 * spec.member_spacing * std::sin(angle);
+      for (Timestamp t = 0; t < spec.num_ticks; ++t) {
+        if (t >= group.start && t <= group.end) {
+          const int i = static_cast<int>(t - group.start);
+          builder.Add(t, oid, lx[i] + ox, ly[i] + oy);
+        } else {
+          // Scattered far apart outside the convoy interval: each member
+          // sits in its own distant corner so no accidental cluster forms.
+          const double fx = spec.area * (10.0 + oid * 7.0) +
+                            rng.Uniform(0.0, spec.area * 0.001);
+          const double fy = spec.area * (10.0 + t * 3.0);
+          builder.Add(t, oid, fx, fy);
+        }
+      }
+    }
+  }
+  for (int n = 0; n < spec.num_noise_objects; ++n) {
+    const ObjectId oid = next_id++;
+    double x = rng.Uniform(0.0, spec.area);
+    double y = rng.Uniform(0.0, spec.area);
+    for (Timestamp t = 0; t < spec.num_ticks; ++t) {
+      if (t > 0) {
+        x = std::clamp(x + rng.Uniform(-spec.noise_step, spec.noise_step), 0.0,
+                       spec.area);
+        y = std::clamp(y + rng.Uniform(-spec.noise_step, spec.noise_step), 0.0,
+                       spec.area);
+      }
+      builder.Add(t, oid, x, y);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace k2

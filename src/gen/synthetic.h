@@ -1,0 +1,52 @@
+// Small synthetic generators used by tests and micro-benches: independent
+// random walks (no structure) and planted convoys (known ground truth).
+#ifndef K2_GEN_SYNTHETIC_H_
+#define K2_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+struct RandomWalkSpec {
+  int num_objects = 10;
+  int num_ticks = 20;
+  double area = 100.0;   // square side, metres
+  double step = 5.0;     // max movement per tick
+  uint64_t seed = 1;
+};
+
+/// Independent uniform random walks in a square; clusters and convoys occur
+/// only by chance. This is the adversarial input for differential tests:
+/// with a small area the space is dense and every edge case of the miners
+/// (splits, merges, border points) is exercised.
+Dataset GenerateRandomWalk(const RandomWalkSpec& spec);
+
+struct PlantedGroup {
+  int size = 3;              // objects in the group
+  Timestamp start = 0;       // first tick the group is together
+  Timestamp end = 0;         // last tick together (inclusive)
+  double speed = 8.0;        // group leader speed per tick
+};
+
+struct PlantedConvoySpec {
+  int num_noise_objects = 20;
+  int num_ticks = 50;
+  double area = 10000.0;     // large area => noise rarely forms convoys
+  double noise_step = 50.0;
+  double member_spacing = 1.0;  // distance of members from their leader
+  std::vector<PlantedGroup> groups;
+  uint64_t seed = 1;
+};
+
+/// Noise objects plus groups that travel together during [start, end] and
+/// scatter to distant random positions outside that interval. Object ids:
+/// group members first (group 0 gets ids 0..size-1, etc.), then noise.
+Dataset GeneratePlantedConvoys(const PlantedConvoySpec& spec);
+
+}  // namespace k2
+
+#endif  // K2_GEN_SYNTHETIC_H_

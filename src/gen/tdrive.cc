@@ -1,0 +1,95 @@
+#include "gen/tdrive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace k2 {
+
+Dataset GenerateTDrive(const TDriveParams& params) {
+  Rng rng(params.seed);
+  RoadNetwork net = RoadNetwork::MakeGrid(params.grid, params.seed ^ 0x7d21);
+
+  const int num_taxis =
+      std::max(8, static_cast<int>(10357 * params.scale));
+  std::vector<uint32_t> hubs;
+  for (int h = 0; h < params.num_hubs; ++h) hubs.push_back(net.RandomNode(&rng));
+  std::vector<uint32_t> lots;
+  for (int l = 0; l < params.num_lots; ++l) lots.push_back(net.RandomNode(&rng));
+
+  DatasetBuilder builder;
+  builder.Reserve(static_cast<size_t>(num_taxis) * params.ticks);
+
+  std::vector<uint32_t> path;
+  for (int taxi = 0; taxi < num_taxis; ++taxi) {
+    const ObjectId oid = static_cast<ObjectId>(taxi);
+    uint32_t here = net.RandomNode(&rng);
+    Timestamp t = 0;
+    // Rest schedule: parked close together at a shared lot for a long
+    // stretch — taxis overlapping at the same lot form genuine convoys.
+    Timestamp rest_start = -1, rest_end = -1;
+    uint32_t rest_lot = 0;
+    double rest_dx = 0.0, rest_dy = 0.0;
+    if (rng.Bernoulli(params.rest_fraction) && !lots.empty()) {
+      rest_start = static_cast<Timestamp>(
+          rng.NextInt(static_cast<uint64_t>(params.ticks * 7 / 10) + 1));
+      rest_end = std::min<Timestamp>(
+          params.ticks - 1,
+          rest_start + params.rest_min_ticks +
+              static_cast<Timestamp>(rng.NextInt(static_cast<uint64_t>(
+                  params.rest_max_ticks - params.rest_min_ticks + 1))));
+      rest_lot = lots[rng.NextInt(lots.size())];
+      const double angle = rng.Uniform(0.0, 6.283185307179586);
+      const double radius = rng.Uniform(2.0, 18.0);
+      rest_dx = radius * std::cos(angle);
+      rest_dy = radius * std::sin(angle);
+    }
+    while (t < params.ticks) {
+      if (rest_start >= 0 && t >= rest_start && t <= rest_end) {
+        const RoadNode& lot = net.node(rest_lot);
+        while (t <= rest_end) {
+          builder.Add(t, oid,
+                      lot.x + rest_dx + rng.Gaussian(0.0, params.gps_noise),
+                      lot.y + rest_dy + rng.Gaussian(0.0, params.gps_noise));
+          ++t;
+        }
+        here = rest_lot;
+        continue;
+      }
+      // Choose the next destination: hub-biased.
+      uint32_t dst = rng.Bernoulli(params.hub_bias)
+                         ? hubs[rng.NextInt(hubs.size())]
+                         : net.RandomNode(&rng);
+      if (dst == here || !net.FindPath(here, dst, &path) || path.size() < 2) {
+        // Stay put one tick and retry.
+        const RoadNode& n = net.node(here);
+        builder.Add(t, oid, n.x + rng.Gaussian(0.0, params.gps_noise),
+                    n.y + rng.Gaussian(0.0, params.gps_noise));
+        ++t;
+        continue;
+      }
+      PathMover mover(&net, path);
+      while (t < params.ticks) {
+        const RoadNode pos = mover.Step();
+        builder.Add(t, oid, pos.x + rng.Gaussian(0.0, params.gps_noise),
+                    pos.y + rng.Gaussian(0.0, params.gps_noise));
+        ++t;
+        if (mover.done()) break;
+      }
+      here = dst;
+      // Wait for the next fare.
+      const Timestamp wait = t + 2 + static_cast<Timestamp>(rng.NextInt(12));
+      const RoadNode& n = net.node(here);
+      while (t < std::min<Timestamp>(wait, params.ticks)) {
+        builder.Add(t, oid, n.x + rng.Gaussian(0.0, params.gps_noise),
+                    n.y + rng.Gaussian(0.0, params.gps_noise));
+        ++t;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace k2

@@ -1,0 +1,42 @@
+// T-Drive-like workload (paper Sec. 6.2.2): a large taxi fleet in a grid
+// city. Trips are biased toward a few arterial hubs, so taxis share arterial
+// segments — sparse, short-lived co-movement, like real taxi traces. The
+// default is scaled to ~1/16 of the real dataset for CI speed; pass
+// `scale = 1.0` for full 10K-taxi scale.
+#ifndef K2_GEN_TDRIVE_H_
+#define K2_GEN_TDRIVE_H_
+
+#include <cstdint>
+
+#include "gen/road_network.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+struct TDriveParams {
+  /// Fraction of the real dataset's fleet (10,357 taxis, 1 week).
+  double scale = 1.0 / 16.0;
+  int ticks = 3400;        ///< one week at the ~177 s interpolated interval
+  int num_hubs = 6;        ///< high-demand destinations (stations, malls)
+  double hub_bias = 0.55;  ///< probability a trip ends at a hub
+  double gps_noise = 4.0;  ///< metres
+  /// Shared taxi lots: a fraction of the fleet takes one long rest parked at
+  /// a communal lot — the source of the long-lived convoys real taxi traces
+  /// exhibit (paper finds convoys on T-Drive even at large k).
+  int num_lots = 12;
+  double rest_fraction = 0.08;
+  int rest_min_ticks = 300;
+  int rest_max_ticks = 700;
+  RoadNetwork::GridSpec grid = {.nx = 24,
+                                .ny = 24,
+                                .spacing = 600.0,
+                                .jitter = 70.0,
+                                .highway_every = 6};
+  uint64_t seed = 11;
+};
+
+Dataset GenerateTDrive(const TDriveParams& params);
+
+}  // namespace k2
+
+#endif  // K2_GEN_TDRIVE_H_

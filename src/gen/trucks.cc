@@ -1,0 +1,92 @@
+#include "gen/trucks.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace k2 {
+
+Dataset GenerateTrucks(const TrucksParams& params) {
+  Rng rng(params.seed);
+  RoadNetwork net = RoadNetwork::MakeGrid(params.grid, params.seed ^ 0x715c);
+
+  // Depots and sites are fixed intersections shared by the whole fleet.
+  std::vector<uint32_t> depots, sites;
+  for (int d = 0; d < params.num_depots; ++d) depots.push_back(net.RandomNode(&rng));
+  for (int s = 0; s < params.num_sites; ++s) sites.push_back(net.RandomNode(&rng));
+
+  DatasetBuilder builder;
+  builder.Reserve(static_cast<size_t>(params.num_trajectories) * params.ticks);
+
+  const int wave_ticks = params.wave_minutes * 2;  // 30 s sampling
+  // Parked trucks occupy distinct yard slots well apart from each other, so
+  // idling at a depot or site does not register as co-movement (only trucks
+  // actually driving the same route form convoys).
+  const double slot_spacing = 60.0;
+  auto slot_offset = [&](ObjectId oid, double* dx, double* dy) {
+    *dx = (oid % 16) * slot_spacing;
+    *dy = (oid / 16) * slot_spacing;
+  };
+  std::vector<uint32_t> path;
+  for (int traj = 0; traj < params.num_trajectories; ++traj) {
+    const ObjectId oid = static_cast<ObjectId>(traj);
+    const uint32_t depot = depots[rng.NextInt(depots.size())];
+    double slot_dx, slot_dy;
+    slot_offset(oid, &slot_dx, &slot_dy);
+
+    // A truck-day is a sequence of delivery round trips; trucks assigned to
+    // the same wave and site travel the same route at the same ticks.
+    Timestamp t = 0;
+    // Wave alignment: departure at a multiple of the wave length.
+    Timestamp depart =
+        static_cast<Timestamp>(rng.NextInt(4)) * wave_ticks;
+    double idle_x = net.node(depot).x + slot_dx;
+    double idle_y = net.node(depot).y + slot_dy;
+    while (t < params.ticks) {
+      // Idle at the depot until departure.
+      while (t < std::min<Timestamp>(depart, params.ticks)) {
+        builder.Add(t, oid, idle_x + rng.Gaussian(0.0, params.gps_noise),
+                    idle_y + rng.Gaussian(0.0, params.gps_noise));
+        ++t;
+      }
+      if (t >= params.ticks) break;
+
+      const uint32_t site = sites[rng.NextInt(sites.size())];
+      // Out and back; unroutable pairs (rare) idle the rest of the day.
+      if (!net.FindPath(depot, site, &path) || path.size() < 2) {
+        depart = params.ticks;
+        continue;
+      }
+      for (int leg = 0; leg < 2 && t < params.ticks; ++leg) {
+        PathMover mover(&net, path);
+        while (t < params.ticks) {
+          const RoadNode pos = mover.Step();
+          builder.Add(t, oid, pos.x + rng.Gaussian(0.0, params.gps_noise),
+                      pos.y + rng.Gaussian(0.0, params.gps_noise));
+          ++t;
+          if (mover.done()) break;
+        }
+        // Unload/load pause at the turn-around point, in the truck's own
+        // bay so waiting fleets don't cluster.
+        const RoadNode& pause = net.node(leg == 0 ? site : depot);
+        const Timestamp pause_until =
+            t + 10 + static_cast<Timestamp>(rng.NextInt(20));
+        while (t < std::min<Timestamp>(pause_until, params.ticks)) {
+          builder.Add(t, oid,
+                      pause.x + slot_dx + rng.Gaussian(0.0, params.gps_noise),
+                      pause.y + slot_dy + rng.Gaussian(0.0, params.gps_noise));
+          ++t;
+        }
+        std::reverse(path.begin(), path.end());
+      }
+      // Next round trip starts at the following wave boundary.
+      depart = ((t / wave_ticks) + 1) * wave_ticks;
+      idle_x = net.node(depot).x + slot_dx;
+      idle_y = net.node(depot).y + slot_dy;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace k2

@@ -1,0 +1,74 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace k2 {
+
+std::span<const PointRecord> Dataset::Snapshot(Timestamp t) const {
+  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
+  if (it == timestamps_.end() || *it != t) return {};
+  size_t i = static_cast<size_t>(it - timestamps_.begin());
+  return std::span<const PointRecord>(records_.data() + extents_[i],
+                                      extents_[i + 1] - extents_[i]);
+}
+
+const PointRecord* Dataset::Find(Timestamp t, ObjectId oid) const {
+  auto snap = Snapshot(t);
+  auto it = std::lower_bound(
+      snap.begin(), snap.end(), oid,
+      [](const PointRecord& r, ObjectId o) { return r.oid < o; });
+  if (it == snap.end() || it->oid != oid) return nullptr;
+  return &*it;
+}
+
+Dataset Dataset::Restrict(const std::vector<ObjectId>& sorted_oids,
+                          TimeRange range) const {
+  DatasetBuilder builder;
+  for (const PointRecord& rec : records_) {
+    if (!range.Contains(rec.t)) continue;
+    if (!std::binary_search(sorted_oids.begin(), sorted_oids.end(), rec.oid)) {
+      continue;
+    }
+    builder.Add(rec);
+  }
+  return builder.Build();
+}
+
+std::string Dataset::DebugString() const {
+  std::ostringstream os;
+  os << "Dataset{points=" << num_points() << ", objects=" << num_objects()
+     << ", ticks=[" << time_range_.start << ", " << time_range_.end << "]}";
+  return os.str();
+}
+
+Dataset DatasetBuilder::Build() {
+  Dataset ds;
+  std::stable_sort(rows_.begin(), rows_.end(), RecordKeyLess);
+  rows_.erase(std::unique(rows_.begin(), rows_.end(),
+                          [](const PointRecord& a, const PointRecord& b) {
+                            return a.t == b.t && a.oid == b.oid;
+                          }),
+              rows_.end());
+  ds.records_ = std::move(rows_);
+  rows_.clear();
+
+  std::unordered_set<ObjectId> object_ids;
+  for (size_t i = 0; i < ds.records_.size(); ++i) {
+    const PointRecord& rec = ds.records_[i];
+    if (i == 0 || rec.t != ds.records_[i - 1].t) {
+      ds.timestamps_.push_back(rec.t);
+      ds.extents_.push_back(i);
+    }
+    object_ids.insert(rec.oid);
+  }
+  ds.extents_.push_back(ds.records_.size());
+  ds.num_objects_ = object_ids.size();
+  if (!ds.records_.empty()) {
+    ds.time_range_ = {ds.timestamps_.front(), ds.timestamps_.back()};
+  }
+  return ds;
+}
+
+}  // namespace k2

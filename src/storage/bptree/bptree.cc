@@ -1,0 +1,201 @@
+#include "storage/bptree/bptree.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "storage/key.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+namespace {
+
+// Little helpers for reading/writing page fields through memcpy (safe w.r.t.
+// alignment and strict aliasing).
+template <typename T>
+T LoadAt(const std::byte* page, size_t offset) {
+  T v;
+  std::memcpy(&v, page + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreAt(std::byte* page, size_t offset, T v) {
+  std::memcpy(page + offset, &v, sizeof(T));
+}
+
+uint16_t PageType(const std::byte* page) { return LoadAt<uint16_t>(page, 0); }
+uint16_t NumKeys(const std::byte* page) { return LoadAt<uint16_t>(page, 2); }
+uint32_t LeafNext(const std::byte* page) { return LoadAt<uint32_t>(page, 4); }
+
+}  // namespace
+
+BPlusTree::BPlusTree(std::string path, size_t buffer_pool_pages,
+                     IoStats* stats)
+    : pager_(std::move(path), stats),
+      pool_(&pager_, buffer_pool_pages, stats) {}
+
+Status BPlusTree::BuildFrom(const Dataset& dataset) {
+  K2_RETURN_NOT_OK(pager_.Create());
+  pool_.Clear();
+  num_records_ = dataset.num_points();
+
+  // Page 0 is reserved as a (currently unused) meta page so that pid 0 can
+  // serve as the "no next leaf" sentinel.
+  K2_ASSIGN_OR_RETURN(PageId meta_pid, pager_.AllocatePage());
+  K2_CHECK(meta_pid == 0);
+
+  std::vector<std::byte> page(kPageSize);
+  const auto& records = dataset.records();
+
+  // --- Level 0: leaves -----------------------------------------------------
+  // Entries per leaf are balanced so the last leaf is not pathologically
+  // small: fill ceil(n / num_leaves) per leaf.
+  std::vector<std::pair<uint64_t, PageId>> level;  // (first key, pid)
+  size_t i = 0;
+  PageId prev_leaf = kInvalidPageId;
+  size_t prev_offset_in_file = 0;
+  (void)prev_offset_in_file;
+  while (i < records.size() || level.empty()) {
+    const size_t count =
+        std::min(kLeafCapacity, records.size() - i);
+    std::memset(page.data(), 0, kPageSize);
+    StoreAt<uint16_t>(page.data(), 0, kLeafType);
+    StoreAt<uint16_t>(page.data(), 2, static_cast<uint16_t>(count));
+    StoreAt<uint32_t>(page.data(), 4, 0);  // next filled below
+    for (size_t e = 0; e < count; ++e) {
+      const PointRecord& rec = records[i + e];
+      const size_t off = kHeaderSize + e * kLeafEntrySize;
+      StoreAt<uint64_t>(page.data(), off, MakeKey(rec.t, rec.oid));
+      StoreAt<double>(page.data(), off + 8, rec.x);
+      StoreAt<double>(page.data(), off + 16, rec.y);
+    }
+    K2_ASSIGN_OR_RETURN(PageId pid, pager_.AllocatePage());
+    K2_RETURN_NOT_OK(pager_.WritePage(pid, page.data()));
+    const uint64_t first_key =
+        count > 0 ? MakeKey(records[i].t, records[i].oid) : 0;
+    level.emplace_back(first_key, pid);
+    // Chain the previous leaf to this one.
+    if (prev_leaf != kInvalidPageId) {
+      std::vector<std::byte> prev(kPageSize);
+      K2_RETURN_NOT_OK(pager_.ReadPage(prev_leaf, prev.data()));
+      StoreAt<uint32_t>(prev.data(), 4, pid);
+      K2_RETURN_NOT_OK(pager_.WritePage(prev_leaf, prev.data()));
+    }
+    prev_leaf = pid;
+    i += count;
+    if (records.empty()) break;  // single empty leaf for an empty dataset
+  }
+  height_ = 1;
+
+  // --- Internal levels ------------------------------------------------------
+  while (level.size() > 1) {
+    std::vector<std::pair<uint64_t, PageId>> next_level;
+    size_t pos = 0;
+    while (pos < level.size()) {
+      const size_t fanout =
+          std::min(kInternalCapacity + 1, level.size() - pos);
+      std::memset(page.data(), 0, kPageSize);
+      StoreAt<uint16_t>(page.data(), 0, kInternalType);
+      StoreAt<uint16_t>(page.data(), 2, static_cast<uint16_t>(fanout - 1));
+      for (size_t c = 0; c < fanout; ++c) {
+        StoreAt<uint32_t>(page.data(), kInternalChildrenOffset + c * 4,
+                          level[pos + c].second);
+        if (c > 0) {
+          // Separator key c-1 = first key of child c.
+          StoreAt<uint64_t>(page.data(), kHeaderSize + (c - 1) * 8,
+                            level[pos + c].first);
+        }
+      }
+      K2_ASSIGN_OR_RETURN(PageId pid, pager_.AllocatePage());
+      K2_RETURN_NOT_OK(pager_.WritePage(pid, page.data()));
+      next_level.emplace_back(level[pos].first, pid);
+      pos += fanout;
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_pid_ = level.front().second;
+
+  // Reopen read-only so queries cannot mutate the file.
+  K2_RETURN_NOT_OK(pager_.Open());
+  return Status::OK();
+}
+
+Status BPlusTree::FindLeaf(uint64_t key, PageId* leaf_pid) {
+  PageId pid = root_pid_;
+  for (uint32_t lvl = height_; lvl > 1; --lvl) {
+    K2_ASSIGN_OR_RETURN(const std::byte* page, pool_.Fetch(pid));
+    K2_CHECK(PageType(page) == kInternalType);
+    const uint16_t n = NumKeys(page);
+    // Find the first separator > key; descend into that child slot.
+    uint16_t lo = 0, hi = n;
+    while (lo < hi) {
+      const uint16_t mid = (lo + hi) / 2;
+      const uint64_t sep = LoadAt<uint64_t>(page, kHeaderSize + mid * 8);
+      if (key < sep) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    pid = LoadAt<uint32_t>(page, kInternalChildrenOffset + lo * 4);
+  }
+  *leaf_pid = pid;
+  return Status::OK();
+}
+
+Status BPlusTree::Get(uint64_t key, BPTreeValue* value, bool* found) {
+  *found = false;
+  if (num_records_ == 0) return Status::OK();
+  PageId leaf_pid;
+  K2_RETURN_NOT_OK(FindLeaf(key, &leaf_pid));
+  K2_ASSIGN_OR_RETURN(const std::byte* page, pool_.Fetch(leaf_pid));
+  K2_CHECK(PageType(page) == kLeafType);
+  const uint16_t n = NumKeys(page);
+  uint16_t lo = 0, hi = n;
+  while (lo < hi) {
+    const uint16_t mid = (lo + hi) / 2;
+    const uint64_t k = LoadAt<uint64_t>(page, kHeaderSize + mid * kLeafEntrySize);
+    if (k < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < n) {
+    const size_t off = kHeaderSize + lo * kLeafEntrySize;
+    if (LoadAt<uint64_t>(page, off) == key) {
+      value->x = LoadAt<double>(page, off + 8);
+      value->y = LoadAt<double>(page, off + 16);
+      *found = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, const BPTreeValue&)>& fn) {
+  if (num_records_ == 0 || lo > hi) return Status::OK();
+  PageId leaf_pid;
+  K2_RETURN_NOT_OK(FindLeaf(lo, &leaf_pid));
+  while (leaf_pid != 0 && leaf_pid != kInvalidPageId) {
+    K2_ASSIGN_OR_RETURN(const std::byte* page, pool_.Fetch(leaf_pid));
+    K2_CHECK(PageType(page) == kLeafType);
+    const uint16_t n = NumKeys(page);
+    for (uint16_t e = 0; e < n; ++e) {
+      const size_t off = kHeaderSize + e * kLeafEntrySize;
+      const uint64_t key = LoadAt<uint64_t>(page, off);
+      if (key < lo) continue;
+      if (key > hi) return Status::OK();
+      BPTreeValue v{LoadAt<double>(page, off + 8),
+                    LoadAt<double>(page, off + 16)};
+      fn(key, v);
+    }
+    leaf_pid = LeafNext(page);
+  }
+  return Status::OK();
+}
+
+}  // namespace k2

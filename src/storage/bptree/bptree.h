@@ -1,0 +1,83 @@
+// Disk-resident B+-tree with the composite clustered key (t, oid): the
+// "relational table ... with a multi-column clustering index on timestamp
+// and oid" of paper Sec. 5.1. Built bottom-up from sorted data (bulk load),
+// then read-only; leaves are chained for range scans.
+#ifndef K2_STORAGE_BPTREE_BPTREE_H_
+#define K2_STORAGE_BPTREE_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+#include "storage/bptree/buffer_pool.h"
+#include "storage/bptree/pager.h"
+
+namespace k2 {
+
+/// Leaf payload: the planar position of one (t, oid) row.
+struct BPTreeValue {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class BPlusTree {
+ public:
+  /// `buffer_pool_pages` bounds resident memory (default 256 pages = 1 MiB);
+  /// `stats` may be null.
+  BPlusTree(std::string path, size_t buffer_pool_pages, IoStats* stats);
+
+  /// Builds the tree from `dataset` (already in key order) bottom-up and
+  /// leaves it open for queries.
+  Status BuildFrom(const Dataset& dataset);
+
+  /// Point lookup; `*found` is false when the key is absent.
+  Status Get(uint64_t key, BPTreeValue* value, bool* found);
+
+  /// Visits all entries with lo <= key <= hi in key order.
+  Status ScanRange(uint64_t lo, uint64_t hi,
+                   const std::function<void(uint64_t, const BPTreeValue&)>& fn);
+
+  uint32_t height() const { return height_; }
+  uint64_t num_records() const { return num_records_; }
+  PageId num_pages() const { return pager_.num_pages(); }
+
+  /// Drops every cached page (used by benches to model a cold cache).
+  void DropCaches() { pool_.Clear(); }
+
+  // --- page geometry, exposed for white-box tests ------------------------
+  // Leaf: 16 B header + n * 24 B entries.
+  static constexpr size_t kLeafCapacity = (kPageSize - 16) / 24;  // 170
+  // Internal: 16 B header + n * 8 B keys + (n + 1) * 4 B children; the +1
+  // child slot must fit inside the page, hence the extra -4.
+  static constexpr size_t kInternalCapacity = (kPageSize - 16 - 4) / 12;  // 339
+
+ private:
+  // Page layout. Common header: uint16 type, uint16 num_keys, uint32 extra
+  // (leaf: next-leaf pid; internal: unused), uint64 reserved.
+  // Leaf entries start at byte 16: {uint64 key, double x, double y} * n.
+  // Internal: keys (uint64 * kInternalCapacity) at byte 16, children
+  // (uint32 * (kInternalCapacity + 1)) after the key array.
+  static constexpr uint16_t kLeafType = 1;
+  static constexpr uint16_t kInternalType = 2;
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kLeafEntrySize = 24;
+  static constexpr size_t kInternalChildrenOffset =
+      kHeaderSize + 8 * kInternalCapacity;
+
+  /// Descends from the root to the leaf that may hold `key`.
+  Status FindLeaf(uint64_t key, PageId* leaf_pid);
+
+  Pager pager_;
+  BufferPool pool_;
+  PageId root_pid_ = kInvalidPageId;
+  uint32_t height_ = 0;  // 1 = root is a leaf
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_BPTREE_BPTREE_H_

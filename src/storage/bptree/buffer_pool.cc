@@ -1,0 +1,39 @@
+#include "storage/bptree/buffer_pool.h"
+
+#include "common/check.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity, IoStats* stats)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity), stats_(stats) {}
+
+Result<const std::byte*> BufferPool::Fetch(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (stats_ != nullptr) ++stats_->pages_cached;
+    return static_cast<const std::byte*>(it->second->data.get());
+  }
+  // Miss: evict if full, then read.
+  if (frames_.size() >= capacity_) {
+    Frame& victim = lru_.back();
+    frames_.erase(victim.pid);
+    lru_.pop_back();
+  }
+  Frame frame;
+  frame.pid = pid;
+  frame.data = std::make_unique<std::byte[]>(kPageSize);
+  K2_RETURN_NOT_OK(pager_->ReadPage(pid, frame.data.get()));
+  lru_.push_front(std::move(frame));
+  frames_[pid] = lru_.begin();
+  return static_cast<const std::byte*>(lru_.front().data.get());
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace k2

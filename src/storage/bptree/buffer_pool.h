@@ -1,0 +1,49 @@
+// Fixed-capacity read-only buffer pool with LRU eviction. The B+-tree is
+// immutable after bulk load, so there are no dirty pages; the pool exists to
+// model the memory/disk traffic split (hits vs misses feed IoStats).
+#ifndef K2_STORAGE_BPTREE_BUFFER_POOL_H_
+#define K2_STORAGE_BPTREE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/bptree/pager.h"
+
+namespace k2 {
+
+class BufferPool {
+ public:
+  /// `capacity` = number of resident pages (>= 1).
+  BufferPool(Pager* pager, size_t capacity, IoStats* stats = nullptr);
+
+  /// Returns a pointer to the resident page content (valid until the next
+  /// Fetch call that evicts it — callers must copy what they keep).
+  Result<const std::byte*> Fetch(PageId pid);
+
+  /// Drops all cached pages.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    PageId pid;
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  Pager* pager_;
+  size_t capacity_;
+  IoStats* stats_;
+  // MRU at front. unordered_map points into the list.
+  std::list<Frame> lru_;
+  std::unordered_map<PageId, std::list<Frame>::iterator> frames_;
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_BPTREE_BUFFER_POOL_H_

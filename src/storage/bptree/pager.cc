@@ -1,0 +1,92 @@
+#include "storage/bptree/pager.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace k2 {
+
+Pager::Pager(std::string path, IoStats* stats)
+    : path_(std::move(path)), stats_(stats) {}
+
+Pager::~Pager() { Close(); }
+
+Status Pager::Create() {
+  Close();
+  file_ = std::fopen(path_.c_str(), "wb+");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  num_pages_ = 0;
+  last_pos_ = -1;
+  return Status::OK();
+}
+
+Status Pager::Open() {
+  Close();
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  num_pages_ = static_cast<PageId>(std::ftell(file_) / kPageSize);
+  last_pos_ = -1;
+  return Status::OK();
+}
+
+void Pager::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<PageId> Pager::AllocatePage() {
+  if (file_ == nullptr) return Status::Invalid("pager not open");
+  static const std::vector<char> zeros(kPageSize, 0);
+  PageId pid = num_pages_;
+  K2_RETURN_NOT_OK(WritePage(pid, zeros.data()));
+  return pid;
+}
+
+Status Pager::ReadPage(PageId pid, void* buf) {
+  if (file_ == nullptr) return Status::Invalid("pager not open");
+  const long pos = static_cast<long>(pid) * static_cast<long>(kPageSize);
+  if (pos != last_pos_) {
+    if (std::fseek(file_, pos, SEEK_SET) != 0) {
+      return Status::IOError("seek failed on " + path_);
+    }
+    if (stats_ != nullptr) ++stats_->seeks;
+  }
+  if (std::fread(buf, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short page read from " + path_);
+  }
+  last_pos_ = pos + static_cast<long>(kPageSize);
+  if (stats_ != nullptr) {
+    ++stats_->pages_read;
+    stats_->bytes_read += kPageSize;
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId pid, const void* buf) {
+  if (file_ == nullptr) return Status::Invalid("pager not open");
+  const long pos = static_cast<long>(pid) * static_cast<long>(kPageSize);
+  if (pos != last_pos_ && std::fseek(file_, pos, SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fwrite(buf, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short page write to " + path_);
+  }
+  last_pos_ = pos + static_cast<long>(kPageSize);
+  if (pid >= num_pages_) num_pages_ = pid + 1;
+  return Status::OK();
+}
+
+}  // namespace k2

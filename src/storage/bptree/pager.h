@@ -1,0 +1,57 @@
+// Page-granular file access for the B+-tree engine: fixed 4 KiB pages,
+// explicit read/write/allocate, and IO accounting (seeks, bytes, pages).
+#ifndef K2_STORAGE_BPTREE_PAGER_H_
+#define K2_STORAGE_BPTREE_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace k2 {
+
+inline constexpr size_t kPageSize = 4096;
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+struct IoStats;  // from storage/store.h
+
+class Pager {
+ public:
+  /// `stats` may be null; when set, reads are accounted there.
+  explicit Pager(std::string path, IoStats* stats = nullptr);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Creates/truncates the backing file for writing a fresh tree.
+  Status Create();
+  /// Opens an existing file read-only.
+  Status Open();
+  void Close();
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `pid` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId pid, void* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `pid`.
+  Status WritePage(PageId pid, const void* buf);
+
+  PageId num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  PageId num_pages_ = 0;
+  IoStats* stats_ = nullptr;
+  long last_pos_ = -1;  // detect non-sequential access => seek
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_BPTREE_PAGER_H_

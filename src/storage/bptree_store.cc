@@ -1,0 +1,43 @@
+#include "storage/bptree_store.h"
+
+#include "storage/key.h"
+
+namespace k2 {
+
+BPlusTreeStore::BPlusTreeStore(std::string path, size_t buffer_pool_pages)
+    : tree_(std::move(path), buffer_pool_pages, &io_stats_) {}
+
+Status BPlusTreeStore::BulkLoad(const Dataset& dataset) {
+  K2_RETURN_NOT_OK(tree_.BuildFrom(dataset));
+  timestamps_ = dataset.timestamps();
+  time_range_ = dataset.time_range();
+  return Status::OK();
+}
+
+Status BPlusTreeStore::ScanTimestamp(Timestamp t,
+                                     std::vector<SnapshotPoint>* out) {
+  out->clear();
+  ++io_stats_.snapshot_scans;
+  K2_RETURN_NOT_OK(tree_.ScanRange(
+      MinKeyOf(t), MaxKeyOf(t), [&](uint64_t key, const BPTreeValue& v) {
+        out->push_back(SnapshotPoint{KeyOid(key), v.x, v.y});
+      }));
+  io_stats_.scanned_points += out->size();
+  return Status::OK();
+}
+
+Status BPlusTreeStore::GetPoints(Timestamp t, const ObjectSet& objects,
+                                 std::vector<SnapshotPoint>* out) {
+  out->clear();
+  io_stats_.point_queries += objects.size();
+  for (ObjectId oid : objects) {
+    BPTreeValue v;
+    bool found = false;
+    K2_RETURN_NOT_OK(tree_.Get(MakeKey(t, oid), &v, &found));
+    if (found) out->push_back(SnapshotPoint{oid, v.x, v.y});
+  }
+  io_stats_.point_hits += out->size();
+  return Status::OK();
+}
+
+}  // namespace k2

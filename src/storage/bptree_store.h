@@ -1,0 +1,42 @@
+// Relational-style store ("k2-RDBMS"): rows clustered in a disk B+-tree on
+// the composite key (t, oid). Snapshot scans are leaf-chain range scans;
+// point reads are index descents, mostly served from the buffer pool.
+#ifndef K2_STORAGE_BPTREE_STORE_H_
+#define K2_STORAGE_BPTREE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bptree/bptree.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+class BPlusTreeStore final : public Store {
+ public:
+  /// Tree file lives at `path`; `buffer_pool_pages` bounds cache memory.
+  explicit BPlusTreeStore(std::string path, size_t buffer_pool_pages = 256);
+
+  std::string name() const override { return "rdbms"; }
+  Status BulkLoad(const Dataset& dataset) override;
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override;
+  TimeRange time_range() const override { return time_range_; }
+  const std::vector<Timestamp>& timestamps() const override {
+    return timestamps_;
+  }
+  uint64_t num_points() const override { return tree_.num_records(); }
+
+  BPlusTree& tree() { return tree_; }
+
+ private:
+  BPlusTree tree_;
+  std::vector<Timestamp> timestamps_;
+  TimeRange time_range_{0, -1};
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_BPTREE_STORE_H_

@@ -1,0 +1,115 @@
+#include "storage/file_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace k2 {
+
+static_assert(sizeof(PointRecord) == 24,
+              "PointRecord must be 24 bytes for the fixed-width row format");
+
+FileStore::FileStore(std::string path) : path_(std::move(path)) {}
+
+FileStore::~FileStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileStore::BulkLoad(const Dataset& dataset) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot create " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  const auto& records = dataset.records();
+  if (!records.empty() &&
+      std::fwrite(records.data(), sizeof(PointRecord), records.size(), out) !=
+          records.size()) {
+    std::fclose(out);
+    return Status::IOError("short write to " + path_);
+  }
+  std::fclose(out);
+
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot reopen " + path_ + ": " +
+                           std::strerror(errno));
+  }
+
+  timestamps_.clear();
+  extents_.clear();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i == 0 || records[i].t != records[i - 1].t) {
+      timestamps_.push_back(records[i].t);
+      extents_.push_back(Extent{i, 0});
+    }
+    ++extents_.back().count;
+  }
+  num_points_ = records.size();
+  time_range_ = dataset.time_range();
+  return Status::OK();
+}
+
+Status FileStore::ReadRows(uint64_t row_offset, uint64_t count) {
+  scratch_.resize(count);
+  if (count == 0) return Status::OK();
+  if (std::fseek(file_, static_cast<long>(row_offset * sizeof(PointRecord)),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  ++io_stats_.seeks;
+  if (std::fread(scratch_.data(), sizeof(PointRecord), count, file_) !=
+      count) {
+    return Status::IOError("short read from " + path_);
+  }
+  io_stats_.bytes_read += count * sizeof(PointRecord);
+  return Status::OK();
+}
+
+Status FileStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
+  out->clear();
+  if (file_ == nullptr) return Status::Invalid("FileStore not loaded");
+  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
+  ++io_stats_.snapshot_scans;
+  if (it == timestamps_.end() || *it != t) return Status::OK();
+  const Extent& ext = extents_[it - timestamps_.begin()];
+  K2_RETURN_NOT_OK(ReadRows(ext.row_offset, ext.count));
+  out->reserve(ext.count);
+  for (const PointRecord& rec : scratch_) {
+    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+  }
+  io_stats_.scanned_points += out->size();
+  return Status::OK();
+}
+
+Status FileStore::GetPoints(Timestamp t, const ObjectSet& objects,
+                            std::vector<SnapshotPoint>* out) {
+  out->clear();
+  if (file_ == nullptr) return Status::Invalid("FileStore not loaded");
+  io_stats_.point_queries += objects.size();
+  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
+  if (it == timestamps_.end() || *it != t) return Status::OK();
+  // No secondary index: a point read pays for the whole timestamp extent.
+  const Extent& ext = extents_[it - timestamps_.begin()];
+  K2_RETURN_NOT_OK(ReadRows(ext.row_offset, ext.count));
+  auto rec_it = scratch_.begin();
+  for (ObjectId oid : objects) {
+    while (rec_it != scratch_.end() && rec_it->oid < oid) ++rec_it;
+    if (rec_it == scratch_.end()) break;
+    if (rec_it->oid == oid) {
+      out->push_back(SnapshotPoint{rec_it->oid, rec_it->x, rec_it->y});
+    }
+  }
+  io_stats_.point_hits += out->size();
+  return Status::OK();
+}
+
+uint64_t FileStore::file_size_bytes() const {
+  return num_points_ * sizeof(PointRecord);
+}
+
+}  // namespace k2

@@ -1,0 +1,60 @@
+// Flat-file store: one binary log of fixed-width rows in (t, oid) order plus
+// an in-memory extent directory per timestamp. Snapshot scans are a single
+// seek + sequential read; point reads have no index and must scan the whole
+// timestamp extent — the paper's observation that "flat files are good for
+// scans but are not suitable for random access" (Sec. 5).
+#ifndef K2_STORAGE_FILE_STORE_H_
+#define K2_STORAGE_FILE_STORE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace k2 {
+
+class FileStore final : public Store {
+ public:
+  /// Rows are stored at `path`; the file is created on BulkLoad.
+  explicit FileStore(std::string path);
+  ~FileStore() override;
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  std::string name() const override { return "file"; }
+  Status BulkLoad(const Dataset& dataset) override;
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override;
+  TimeRange time_range() const override { return time_range_; }
+  const std::vector<Timestamp>& timestamps() const override {
+    return timestamps_;
+  }
+  uint64_t num_points() const override { return num_points_; }
+
+  /// Size of the backing file in bytes (0 before BulkLoad).
+  uint64_t file_size_bytes() const;
+
+ private:
+  struct Extent {
+    uint64_t row_offset = 0;  // first row index
+    uint64_t count = 0;
+  };
+
+  /// Reads `count` rows starting at row index `row_offset` into scratch_.
+  Status ReadRows(uint64_t row_offset, uint64_t count);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<Timestamp> timestamps_;
+  std::vector<Extent> extents_;  // parallel to timestamps_
+  std::vector<PointRecord> scratch_;
+  TimeRange time_range_{0, -1};
+  uint64_t num_points_ = 0;
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_FILE_STORE_H_

@@ -1,0 +1,39 @@
+// Composite clustered key (t, oid) packed into one order-preserving uint64,
+// the key layout shared by the B+-tree and LSM engines (paper Sec. 5.2:
+// "we create a composite key (t,oid) ... the data is sorted by keys").
+#ifndef K2_STORAGE_KEY_H_
+#define K2_STORAGE_KEY_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.h"
+
+namespace k2 {
+
+/// Packs (t, oid); the sign bit of t is flipped so that unsigned comparison
+/// of packed keys matches signed comparison of timestamps.
+inline uint64_t MakeKey(Timestamp t, ObjectId oid) {
+  const uint32_t biased_t = static_cast<uint32_t>(t) ^ 0x80000000u;
+  return (static_cast<uint64_t>(biased_t) << 32) | oid;
+}
+
+inline Timestamp KeyTime(uint64_t key) {
+  return static_cast<Timestamp>(static_cast<uint32_t>(key >> 32) ^
+                                0x80000000u);
+}
+
+inline ObjectId KeyOid(uint64_t key) {
+  return static_cast<ObjectId>(key & 0xffffffffu);
+}
+
+/// Smallest and largest keys of tick `t`: the range scanned by
+/// ScanTimestamp ("from (t,0) to (t,max(oid))").
+inline uint64_t MinKeyOf(Timestamp t) { return MakeKey(t, 0); }
+inline uint64_t MaxKeyOf(Timestamp t) {
+  return MakeKey(t, std::numeric_limits<ObjectId>::max());
+}
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_KEY_H_

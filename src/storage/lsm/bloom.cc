@@ -1,0 +1,57 @@
+#include "storage/lsm/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace k2::lsm {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  words_.assign((bits + 63) / 64, 0);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_hashes_ = std::clamp(
+      static_cast<int>(std::round(bits_per_key * 0.6931)), 1, 12);
+}
+
+uint64_t BloomFilter::Mix(uint64_t key) {
+  // SplitMix64 finalizer: decorrelates nearby composite keys.
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  const uint64_t h = Mix(key);
+  const uint64_t delta = (h >> 32) | 1;  // odd => cycles through all bits
+  uint64_t bit = h;
+  const size_t nbits = num_bits();
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t pos = bit % nbits;
+    words_[pos / 64] |= (1ULL << (pos % 64));
+    bit += delta;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (words_.empty()) return true;
+  const uint64_t h = Mix(key);
+  const uint64_t delta = (h >> 32) | 1;
+  uint64_t bit = h;
+  const size_t nbits = num_bits();
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t pos = bit % nbits;
+    if ((words_[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+    bit += delta;
+  }
+  return true;
+}
+
+BloomFilter BloomFilter::FromWords(std::vector<uint64_t> words,
+                                   int num_hashes) {
+  BloomFilter f;
+  f.words_ = std::move(words);
+  f.num_hashes_ = num_hashes;
+  return f;
+}
+
+}  // namespace k2::lsm

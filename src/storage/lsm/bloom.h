@@ -1,0 +1,42 @@
+// Bloom filter over packed (t, oid) keys; one filter per SSTable lets point
+// reads skip tables that cannot contain the key (counted in IoStats as
+// bloom_negative).
+#ifndef K2_STORAGE_LSM_BLOOM_H_
+#define K2_STORAGE_LSM_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace k2::lsm {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_keys` at `bits_per_key` (default 10
+  /// bits/key ~ 1% false positives).
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  void Add(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  /// Serialized form: the raw word array (for embedding in SSTable files).
+  const std::vector<uint64_t>& words() const { return words_; }
+  int num_hashes() const { return num_hashes_; }
+
+  /// Rebuilds from a serialized word array.
+  static BloomFilter FromWords(std::vector<uint64_t> words, int num_hashes);
+
+  size_t num_bits() const { return words_.size() * 64; }
+
+ private:
+  static uint64_t Mix(uint64_t key);
+
+  std::vector<uint64_t> words_;
+  int num_hashes_ = 1;
+};
+
+}  // namespace k2::lsm
+
+#endif  // K2_STORAGE_LSM_BLOOM_H_

@@ -1,0 +1,81 @@
+// Skip list keyed by the packed (t, oid) key — the LSM memtable structure.
+// Single-threaded by design (the mining pipeline is sequential, like the
+// paper's implementation); expected O(log n) insert/lookup, ordered scans.
+#ifndef K2_STORAGE_LSM_SKIPLIST_H_
+#define K2_STORAGE_LSM_SKIPLIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace k2::lsm {
+
+struct LsmValue {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class SkipList {
+ public:
+  SkipList() : rng_(0x5eed5eedULL), head_(NewNode(0, LsmValue{}, kMaxLevel)) {}
+
+  /// Inserts or overwrites.
+  void Put(uint64_t key, const LsmValue& value);
+
+  /// Returns true and fills `*value` when present.
+  bool Get(uint64_t key, LsmValue* value) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// In-order visit of entries with lo <= key <= hi.
+  template <typename Fn>
+  void Scan(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    const Node* node = FindGreaterOrEqual(lo);
+    while (node != nullptr && node->key <= hi) {
+      fn(node->key, node->value);
+      node = node->next[0];
+    }
+  }
+
+  /// In-order visit of all entries.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->key, n->value);
+    }
+  }
+
+  void Clear();
+
+ private:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    uint64_t key;
+    LsmValue value;
+    int level;
+    Node* next[1];  // over-allocated to `level` entries
+  };
+
+  Node* NewNode(uint64_t key, const LsmValue& value, int level);
+  void FreeAll();
+  const Node* FindGreaterOrEqual(uint64_t key) const;
+  int RandomLevel();
+
+  Rng rng_;
+  Node* head_;
+  int max_level_ = 1;
+  size_t size_ = 0;
+
+ public:
+  ~SkipList() { FreeAll(); }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+};
+
+}  // namespace k2::lsm
+
+#endif  // K2_STORAGE_LSM_SKIPLIST_H_

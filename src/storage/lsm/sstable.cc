@@ -1,0 +1,251 @@
+#include "storage/lsm/sstable.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/store.h"
+
+namespace k2::lsm {
+
+namespace {
+
+// One on-disk entry: key + x + y, 24 bytes, written field-wise.
+constexpr size_t kEntrySize = 24;
+
+Status WriteRaw(std::FILE* f, const void* data, size_t n,
+                const std::string& path) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSTableBuilder
+// ---------------------------------------------------------------------------
+
+SSTableBuilder::SSTableBuilder(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    deferred_error_ = Status::IOError("cannot create " + path_ + ": " +
+                                      std::strerror(errno));
+  }
+}
+
+void SSTableBuilder::Reserve(size_t expected_keys) {
+  bloom_reserve_ = expected_keys;
+  all_entries_.reserve(expected_keys);
+}
+
+Status SSTableBuilder::Add(uint64_t key, const LsmValue& value) {
+  K2_RETURN_NOT_OK(deferred_error_);
+  if (has_last_key_ && key <= last_key_) {
+    return Status::Invalid("SSTable keys must be strictly increasing");
+  }
+  last_key_ = key;
+  has_last_key_ = true;
+  block_.emplace_back(key, value);
+  all_entries_.emplace_back(key, value);
+  ++num_entries_;
+  if (block_.size() >= kBlockEntries) return FlushBlock();
+  return Status::OK();
+}
+
+Status SSTableBuilder::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  IndexEntry entry;
+  entry.first_key = block_.front().first;
+  entry.last_key = block_.back().first;
+  entry.offset = offset_;
+  entry.count = static_cast<uint32_t>(block_.size());
+  for (const auto& [key, value] : block_) {
+    K2_RETURN_NOT_OK(WriteRaw(file_, &key, 8, path_));
+    K2_RETURN_NOT_OK(WriteRaw(file_, &value.x, 8, path_));
+    K2_RETURN_NOT_OK(WriteRaw(file_, &value.y, 8, path_));
+  }
+  offset_ += block_.size() * kEntrySize;
+  index_.push_back(entry);
+  block_.clear();
+  return Status::OK();
+}
+
+Status SSTableBuilder::Finish() {
+  K2_RETURN_NOT_OK(deferred_error_);
+  K2_RETURN_NOT_OK(FlushBlock());
+
+  const uint64_t index_offset = offset_;
+  for (const IndexEntry& e : index_) {
+    K2_RETURN_NOT_OK(WriteRaw(file_, &e.first_key, 8, path_));
+    K2_RETURN_NOT_OK(WriteRaw(file_, &e.last_key, 8, path_));
+    K2_RETURN_NOT_OK(WriteRaw(file_, &e.offset, 8, path_));
+    K2_RETURN_NOT_OK(WriteRaw(file_, &e.count, 4, path_));
+  }
+  const uint64_t bloom_offset = index_offset + index_.size() * 28;
+
+  BloomFilter bloom(std::max<size_t>(bloom_reserve_, all_entries_.size()));
+  for (const auto& [key, value] : all_entries_) bloom.Add(key);
+  const uint32_t num_hashes = static_cast<uint32_t>(bloom.num_hashes());
+  const uint32_t num_words = static_cast<uint32_t>(bloom.words().size());
+  K2_RETURN_NOT_OK(WriteRaw(file_, &num_hashes, 4, path_));
+  K2_RETURN_NOT_OK(WriteRaw(file_, &num_words, 4, path_));
+  K2_RETURN_NOT_OK(WriteRaw(file_, bloom.words().data(), num_words * 8, path_));
+
+  K2_RETURN_NOT_OK(WriteRaw(file_, &index_offset, 8, path_));
+  K2_RETURN_NOT_OK(WriteRaw(file_, &bloom_offset, 8, path_));
+  K2_RETURN_NOT_OK(WriteRaw(file_, &num_entries_, 8, path_));
+  K2_RETURN_NOT_OK(WriteRaw(file_, &kSstMagic, 8, path_));
+
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SSTable (reader)
+// ---------------------------------------------------------------------------
+
+SSTable::~SSTable() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<SSTable>> SSTable::Open(const std::string& path,
+                                               uint64_t seq, IoStats* stats) {
+  std::unique_ptr<SSTable> table(new SSTable());
+  table->path_ = path;
+  table->seq_ = seq;
+  table->stats_ = stats;
+  table->file_ = std::fopen(path.c_str(), "rb");
+  if (table->file_ == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::FILE* f = table->file_;
+  if (std::fseek(f, -32, SEEK_END) != 0) {
+    return Status::IOError("footer seek failed on " + path);
+  }
+  uint64_t index_offset, bloom_offset, num_entries, magic;
+  if (std::fread(&index_offset, 8, 1, f) != 1 ||
+      std::fread(&bloom_offset, 8, 1, f) != 1 ||
+      std::fread(&num_entries, 8, 1, f) != 1 ||
+      std::fread(&magic, 8, 1, f) != 1) {
+    return Status::IOError("footer read failed on " + path);
+  }
+  if (magic != kSstMagic) {
+    return Status::Invalid("bad SSTable magic in " + path);
+  }
+  table->num_entries_ = num_entries;
+
+  const size_t num_blocks = (bloom_offset - index_offset) / 28;
+  table->index_.resize(num_blocks);
+  if (std::fseek(f, static_cast<long>(index_offset), SEEK_SET) != 0) {
+    return Status::IOError("index seek failed on " + path);
+  }
+  for (IndexEntry& e : table->index_) {
+    if (std::fread(&e.first_key, 8, 1, f) != 1 ||
+        std::fread(&e.last_key, 8, 1, f) != 1 ||
+        std::fread(&e.offset, 8, 1, f) != 1 ||
+        std::fread(&e.count, 4, 1, f) != 1) {
+      return Status::IOError("index read failed on " + path);
+    }
+  }
+
+  uint32_t num_hashes, num_words;
+  if (std::fread(&num_hashes, 4, 1, f) != 1 ||
+      std::fread(&num_words, 4, 1, f) != 1) {
+    return Status::IOError("bloom header read failed on " + path);
+  }
+  std::vector<uint64_t> words(num_words);
+  if (num_words > 0 && std::fread(words.data(), 8, num_words, f) != num_words) {
+    return Status::IOError("bloom read failed on " + path);
+  }
+  table->bloom_ = BloomFilter::FromWords(std::move(words),
+                                         static_cast<int>(num_hashes));
+
+  if (!table->index_.empty()) {
+    table->min_key_ = table->index_.front().first_key;
+    table->max_key_ = table->index_.back().last_key;
+  }
+  return table;
+}
+
+Status SSTable::ReadBlock(size_t b) {
+  if (cached_block_ == static_cast<int64_t>(b)) return Status::OK();
+  const IndexEntry& e = index_[b];
+  scratch_.resize(e.count);
+  if (std::fseek(file_, static_cast<long>(e.offset), SEEK_SET) != 0) {
+    return Status::IOError("block seek failed on " + path_);
+  }
+  if (stats_ != nullptr) ++stats_->seeks;
+  raw_.resize(e.count * kEntrySize);
+  if (std::fread(raw_.data(), 1, raw_.size(), file_) != raw_.size()) {
+    return Status::IOError("block read failed on " + path_);
+  }
+  for (uint32_t i = 0; i < e.count; ++i) {
+    auto& [key, value] = scratch_[i];
+    std::memcpy(&key, raw_.data() + i * kEntrySize, 8);
+    std::memcpy(&value.x, raw_.data() + i * kEntrySize + 8, 8);
+    std::memcpy(&value.y, raw_.data() + i * kEntrySize + 16, 8);
+  }
+  if (stats_ != nullptr) stats_->bytes_read += e.count * kEntrySize;
+  cached_block_ = static_cast<int64_t>(b);
+  return Status::OK();
+}
+
+Result<bool> SSTable::Get(uint64_t key, LsmValue* value, bool use_bloom) {
+  if (num_entries_ == 0 || key < min_key_ || key > max_key_) return false;
+  if (use_bloom && !bloom_.MayContain(key)) {
+    if (stats_ != nullptr) ++stats_->bloom_negative;
+    return false;
+  }
+  if (stats_ != nullptr) ++stats_->sstables_touched;
+  // Binary search for the block whose last_key >= key.
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (index_[mid].last_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == index_.size() || index_[lo].first_key > key) return false;
+  K2_RETURN_NOT_OK(ReadBlock(lo));
+  auto it = std::lower_bound(
+      scratch_.begin(), scratch_.end(), key,
+      [](const auto& entry, uint64_t k) { return entry.first < k; });
+  if (it != scratch_.end() && it->first == key) {
+    *value = it->second;
+    return true;
+  }
+  return false;
+}
+
+Status SSTable::Scan(uint64_t lo, uint64_t hi,
+                     const std::function<void(uint64_t, const LsmValue&)>& fn) {
+  if (!Overlaps(lo, hi)) return Status::OK();
+  if (stats_ != nullptr) ++stats_->sstables_touched;
+  // First block that can contain lo.
+  size_t b = 0, b_hi = index_.size();
+  while (b < b_hi) {
+    const size_t mid = (b + b_hi) / 2;
+    if (index_[mid].last_key < lo) {
+      b = mid + 1;
+    } else {
+      b_hi = mid;
+    }
+  }
+  for (; b < index_.size() && index_[b].first_key <= hi; ++b) {
+    K2_RETURN_NOT_OK(ReadBlock(b));
+    for (const auto& [key, value] : scratch_) {
+      if (key < lo) continue;
+      if (key > hi) return Status::OK();
+      fn(key, value);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace k2::lsm

@@ -1,0 +1,129 @@
+// Immutable sorted-string table: 4 KiB data blocks of packed (key, x, y)
+// entries, a sparse block index and a bloom filter kept resident, data blocks
+// fetched from disk on demand. File layout:
+//
+//   [block 0][block 1]...[block B-1]
+//   [index: B * {uint64 first_key, uint64 last_key, uint64 offset, u32 count}]
+//   [bloom: uint32 num_hashes, uint32 num_words, words...]
+//   [footer: uint64 index_offset, uint64 bloom_offset, uint64 num_entries,
+//            uint64 magic]
+#ifndef K2_STORAGE_LSM_SSTABLE_H_
+#define K2_STORAGE_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/lsm/bloom.h"
+#include "storage/lsm/skiplist.h"
+
+namespace k2 {
+struct IoStats;
+}
+
+namespace k2::lsm {
+
+inline constexpr uint64_t kSstMagic = 0x6b32686f70737374ULL;  // "k2hopsst"
+inline constexpr size_t kBlockEntries = 170;  // 24 B/entry -> ~4 KiB blocks
+
+/// Writes one SSTable; Add() must be called in strictly increasing key order.
+class SSTableBuilder {
+ public:
+  explicit SSTableBuilder(std::string path);
+
+  Status Add(uint64_t key, const LsmValue& value);
+  /// Flushes everything and closes the file. `expected_keys` were announced
+  /// via Reserve (or counted on the fly).
+  Status Finish();
+
+  /// Pre-sizes the bloom filter; call before the first Add for best shape.
+  void Reserve(size_t expected_keys);
+
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  Status FlushBlock();
+
+  struct IndexEntry {
+    uint64_t first_key;
+    uint64_t last_key;
+    uint64_t offset;
+    uint32_t count;
+  };
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::pair<uint64_t, LsmValue>> block_;
+  std::vector<IndexEntry> index_;
+  std::vector<std::pair<uint64_t, LsmValue>> all_entries_;  // for bloom build
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  uint64_t last_key_ = 0;
+  bool has_last_key_ = false;
+  size_t bloom_reserve_ = 0;
+  Status deferred_error_;
+};
+
+/// Read-side handle; index and bloom are resident, blocks are read on demand.
+class SSTable {
+ public:
+  static Result<std::unique_ptr<SSTable>> Open(const std::string& path,
+                                               uint64_t seq, IoStats* stats);
+  ~SSTable();
+
+  SSTable(const SSTable&) = delete;
+  SSTable& operator=(const SSTable&) = delete;
+
+  /// Point lookup; returns true when found. `use_bloom = false` bypasses the
+  /// bloom filter (ablation benchmark).
+  Result<bool> Get(uint64_t key, LsmValue* value, bool use_bloom = true);
+
+  /// Visits entries with lo <= key <= hi in key order.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<void(uint64_t, const LsmValue&)>& fn);
+
+  uint64_t min_key() const { return min_key_; }
+  uint64_t max_key() const { return max_key_; }
+  uint64_t num_entries() const { return num_entries_; }
+  /// Monotone creation sequence number: larger = newer data.
+  uint64_t seq() const { return seq_; }
+  const std::string& path() const { return path_; }
+  bool Overlaps(uint64_t lo, uint64_t hi) const {
+    return num_entries_ > 0 && lo <= max_key_ && hi >= min_key_;
+  }
+
+ private:
+  SSTable() = default;
+
+  struct IndexEntry {
+    uint64_t first_key;
+    uint64_t last_key;
+    uint64_t offset;
+    uint32_t count;
+  };
+
+  /// Loads block `b` into scratch_; a one-block cache absorbs the repeated
+  /// reads of consecutive point queries (keys of one tick are co-located).
+  Status ReadBlock(size_t b);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<IndexEntry> index_;
+  BloomFilter bloom_;
+  std::vector<std::pair<uint64_t, LsmValue>> scratch_;
+  std::vector<char> raw_;
+  int64_t cached_block_ = -1;
+  uint64_t num_entries_ = 0;
+  uint64_t min_key_ = 0;
+  uint64_t max_key_ = 0;
+  uint64_t seq_ = 0;
+  IoStats* stats_ = nullptr;
+};
+
+}  // namespace k2::lsm
+
+#endif  // K2_STORAGE_LSM_SSTABLE_H_

@@ -1,0 +1,226 @@
+#include "storage/lsm_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/key.h"
+
+namespace k2 {
+
+using lsm::LsmValue;
+using lsm::SSTable;
+using lsm::SSTableBuilder;
+
+LsmStore::LsmStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string LsmStore::NextTablePath() {
+  return dir_ + "/sstable_" + std::to_string(next_seq_) + ".sst";
+}
+
+Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
+  memtable_.Put(MakeKey(t, oid), LsmValue{x, y});
+  tick_set_.insert(t);
+  tick_cache_dirty_ = true;
+  ++num_points_;
+  return MaybeFlush();
+}
+
+Status LsmStore::BulkLoad(const Dataset& dataset) {
+  // Reset any previous content.
+  memtable_.Clear();
+  for (auto& tier : tiers_) {
+    for (auto& table : tier) std::remove(table->path().c_str());
+  }
+  tiers_.clear();
+  flat_newest_first_.clear();
+  tick_set_.clear();
+  tick_cache_dirty_ = true;
+  num_points_ = 0;
+
+  // Route every row through the write path so that flushes and compactions
+  // actually happen — the generators emit in time order, which mirrors how
+  // movement data arrives in an operational store.
+  for (const PointRecord& rec : dataset.records()) {
+    K2_RETURN_NOT_OK(Put(rec.t, rec.oid, rec.x, rec.y));
+  }
+  K2_RETURN_NOT_OK(Flush());
+  num_points_ = dataset.num_points();
+  return Status::OK();
+}
+
+Status LsmStore::MaybeFlush() {
+  if (memtable_.size() < options_.memtable_limit) return Status::OK();
+  return Flush();
+}
+
+Status LsmStore::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  const std::string path = NextTablePath();
+  SSTableBuilder builder(path);
+  builder.Reserve(memtable_.size());
+  Status status = Status::OK();
+  memtable_.ForEach([&](uint64_t key, const LsmValue& value) {
+    if (status.ok()) status = builder.Add(key, value);
+  });
+  K2_RETURN_NOT_OK(status);
+  K2_RETURN_NOT_OK(builder.Finish());
+  K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> table,
+                      SSTable::Open(path, next_seq_, &io_stats_));
+  ++next_seq_;
+  if (tiers_.empty()) tiers_.emplace_back();
+  tiers_[0].push_back(std::move(table));
+  memtable_.Clear();
+  K2_RETURN_NOT_OK(MaybeCompact());
+  RebuildFlatView();
+  return Status::OK();
+}
+
+Status LsmStore::MaybeCompact() {
+  for (size_t tier = 0; tier < tiers_.size(); ++tier) {
+    if (tiers_[tier].size() < options_.tier_fanout) continue;
+    K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> merged,
+                        MergeTables(tiers_[tier]));
+    for (auto& table : tiers_[tier]) std::remove(table->path().c_str());
+    tiers_[tier].clear();
+    if (tier + 1 >= tiers_.size()) tiers_.emplace_back();
+    tiers_[tier + 1].push_back(std::move(merged));
+    ++compactions_run_;
+    // A cascade may now be due in tier+1; the loop continues upward.
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SSTable>> LsmStore::MergeTables(
+    const std::vector<std::unique_ptr<SSTable>>& tables) {
+  // Sort-based merge: materialize (key, seq, value), keep the newest version
+  // of each key. Table sizes at our scales fit comfortably in memory; a
+  // streaming k-way heap merge would replace this for out-of-core tables.
+  struct Row {
+    uint64_t key;
+    uint64_t seq;
+    LsmValue value;
+  };
+  std::vector<Row> rows;
+  uint64_t total = 0;
+  for (const auto& table : tables) total += table->num_entries();
+  rows.reserve(total);
+  for (const auto& table : tables) {
+    const uint64_t seq = table->seq();
+    K2_RETURN_NOT_OK(
+        table->Scan(0, ~0ULL, [&](uint64_t key, const LsmValue& value) {
+          rows.push_back(Row{key, seq, value});
+        }));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq > b.seq;  // newest first within a key
+  });
+
+  const std::string path = NextTablePath();
+  SSTableBuilder builder(path);
+  builder.Reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0 && rows[i].key == rows[i - 1].key) continue;  // older version
+    K2_RETURN_NOT_OK(builder.Add(rows[i].key, rows[i].value));
+  }
+  K2_RETURN_NOT_OK(builder.Finish());
+  K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> merged,
+                      SSTable::Open(path, next_seq_, &io_stats_));
+  ++next_seq_;
+  return merged;
+}
+
+void LsmStore::RebuildFlatView() {
+  flat_newest_first_.clear();
+  for (auto& tier : tiers_) {
+    for (auto& table : tier) flat_newest_first_.push_back(table.get());
+  }
+  std::sort(flat_newest_first_.begin(), flat_newest_first_.end(),
+            [](const SSTable* a, const SSTable* b) { return a->seq() > b->seq(); });
+}
+
+Status LsmStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
+  out->clear();
+  ++io_stats_.snapshot_scans;
+  const uint64_t lo = MinKeyOf(t);
+  const uint64_t hi = MaxKeyOf(t);
+
+  // Collect versions from every overlapping source, newest-wins per key.
+  struct Row {
+    uint64_t key;
+    uint64_t seq;
+    LsmValue value;
+  };
+  std::vector<Row> rows;
+  memtable_.Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+    rows.push_back(Row{key, ~0ULL, value});
+  });
+  for (SSTable* table : flat_newest_first_) {
+    if (!table->Overlaps(lo, hi)) continue;
+    K2_RETURN_NOT_OK(
+        table->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+          rows.push_back(Row{key, table->seq(), value});
+        }));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq > b.seq;
+  });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0 && rows[i].key == rows[i - 1].key) continue;
+    out->push_back(
+        SnapshotPoint{KeyOid(rows[i].key), rows[i].value.x, rows[i].value.y});
+  }
+  io_stats_.scanned_points += out->size();
+  return Status::OK();
+}
+
+Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
+                           std::vector<SnapshotPoint>* out) {
+  out->clear();
+  io_stats_.point_queries += objects.size();
+  for (ObjectId oid : objects) {
+    const uint64_t key = MakeKey(t, oid);
+    LsmValue value;
+    if (memtable_.Get(key, &value)) {
+      out->push_back(SnapshotPoint{oid, value.x, value.y});
+      continue;
+    }
+    bool found = false;
+    for (SSTable* table : flat_newest_first_) {
+      K2_ASSIGN_OR_RETURN(found, table->Get(key, &value, options_.use_bloom));
+      if (found) {
+        out->push_back(SnapshotPoint{oid, value.x, value.y});
+        break;
+      }
+    }
+  }
+  io_stats_.point_hits += out->size();
+  return Status::OK();
+}
+
+TimeRange LsmStore::time_range() const {
+  if (tick_set_.empty()) return TimeRange{0, -1};
+  return TimeRange{*tick_set_.begin(), *tick_set_.rbegin()};
+}
+
+const std::vector<Timestamp>& LsmStore::timestamps() const {
+  if (tick_cache_dirty_) {
+    tick_cache_.assign(tick_set_.begin(), tick_set_.end());
+    tick_cache_dirty_ = false;
+  }
+  return tick_cache_;
+}
+
+size_t LsmStore::num_sstables() const {
+  size_t n = 0;
+  for (const auto& tier : tiers_) n += tier.size();
+  return n;
+}
+
+}  // namespace k2

@@ -1,0 +1,87 @@
+// Log-Structured Merge-tree store ("k2-LSMT", paper Sec. 5.2): skip-list
+// memtable, immutable SSTables, size-tiered compaction. Because the composite
+// key is (t, oid), all rows of a timestamp are co-located, so a benchmark
+// scan is one range read with a single seek, while point reads use per-table
+// bloom filters — precisely the access mix k/2-hop generates.
+#ifndef K2_STORAGE_LSM_STORE_H_
+#define K2_STORAGE_LSM_STORE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/lsm/skiplist.h"
+#include "storage/lsm/sstable.h"
+#include "storage/store.h"
+
+namespace k2 {
+
+struct LsmStoreOptions {
+  /// Memtable entries before an automatic flush.
+  size_t memtable_limit = 128 * 1024;
+  /// Tables per tier before they are merged into the next tier.
+  size_t tier_fanout = 4;
+  /// Ablation switch: disable bloom filters on the read path.
+  bool use_bloom = true;
+};
+
+class LsmStore final : public Store {
+ public:
+  using Options = LsmStoreOptions;
+
+  /// SSTable files live under `dir` (created on demand).
+  explicit LsmStore(std::string dir, Options options = {});
+
+  std::string name() const override { return "lsmt"; }
+  Status BulkLoad(const Dataset& dataset) override;
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override;
+  TimeRange time_range() const override;
+  const std::vector<Timestamp>& timestamps() const override;
+  uint64_t num_points() const override { return num_points_; }
+
+  /// Single-row insert ("fast data inserts" requirement (3) of Sec. 5);
+  /// flushes / compacts automatically.
+  Status Put(Timestamp t, ObjectId oid, double x, double y);
+
+  /// Forces the memtable out to a fresh SSTable.
+  Status Flush();
+
+  size_t num_sstables() const;
+  size_t num_tiers() const { return tiers_.size(); }
+  size_t memtable_entries() const { return memtable_.size(); }
+  uint64_t compactions_run() const { return compactions_run_; }
+
+ private:
+  Status MaybeFlush();
+  /// Merges any tier that reached the fanout into the next tier.
+  Status MaybeCompact();
+  /// Sort-merges `tables` (newest-wins on duplicate keys) into one new
+  /// SSTable and returns it.
+  Result<std::unique_ptr<lsm::SSTable>> MergeTables(
+      const std::vector<std::unique_ptr<lsm::SSTable>>& tables);
+  std::string NextTablePath();
+  void RebuildFlatView();
+
+  std::string dir_;
+  Options options_;
+  lsm::SkipList memtable_;
+  /// tiers_[i] = tables of tier i, oldest first. Tier number grows with
+  /// table size (size-tiered compaction).
+  std::vector<std::vector<std::unique_ptr<lsm::SSTable>>> tiers_;
+  /// All tables, newest first; rebuilt when the tier structure changes.
+  std::vector<lsm::SSTable*> flat_newest_first_;
+  uint64_t next_seq_ = 1;
+  uint64_t num_points_ = 0;
+  uint64_t compactions_run_ = 0;
+
+  std::set<Timestamp> tick_set_;
+  mutable std::vector<Timestamp> tick_cache_;
+  mutable bool tick_cache_dirty_ = true;
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_LSM_STORE_H_

@@ -1,0 +1,46 @@
+#include "storage/memory_store.h"
+
+namespace k2 {
+
+MemoryStore::MemoryStore(Dataset dataset) : dataset_(std::move(dataset)) {}
+
+Status MemoryStore::BulkLoad(const Dataset& dataset) {
+  dataset_ = dataset;
+  return Status::OK();
+}
+
+Status MemoryStore::ScanTimestamp(Timestamp t,
+                                  std::vector<SnapshotPoint>* out) {
+  out->clear();
+  auto snap = dataset_.Snapshot(t);
+  out->reserve(snap.size());
+  for (const PointRecord& rec : snap) {
+    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+  }
+  ++io_stats_.snapshot_scans;
+  io_stats_.scanned_points += out->size();
+  io_stats_.bytes_read += snap.size_bytes();
+  return Status::OK();
+}
+
+Status MemoryStore::GetPoints(Timestamp t, const ObjectSet& objects,
+                              std::vector<SnapshotPoint>* out) {
+  out->clear();
+  auto snap = dataset_.Snapshot(t);
+  io_stats_.point_queries += objects.size();
+  if (snap.empty()) return Status::OK();
+  // Merge over the sorted snapshot and the sorted object set.
+  auto it = snap.begin();
+  for (ObjectId oid : objects) {
+    while (it != snap.end() && it->oid < oid) ++it;
+    if (it == snap.end()) break;
+    if (it->oid == oid) {
+      out->push_back(SnapshotPoint{it->oid, it->x, it->y});
+      io_stats_.bytes_read += sizeof(PointRecord);
+    }
+  }
+  io_stats_.point_hits += out->size();
+  return Status::OK();
+}
+
+}  // namespace k2

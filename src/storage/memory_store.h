@@ -1,0 +1,39 @@
+// In-memory store: a thin adaptor over Dataset. Serves as the test oracle
+// for the disk engines and as the "everything fits in RAM" upper bound that
+// the sequential baselines of the paper implicitly assume.
+#ifndef K2_STORAGE_MEMORY_STORE_H_
+#define K2_STORAGE_MEMORY_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace k2 {
+
+class MemoryStore final : public Store {
+ public:
+  MemoryStore() = default;
+  /// Convenience: construct pre-loaded.
+  explicit MemoryStore(Dataset dataset);
+
+  std::string name() const override { return "memory"; }
+  Status BulkLoad(const Dataset& dataset) override;
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override;
+  TimeRange time_range() const override { return dataset_.time_range(); }
+  const std::vector<Timestamp>& timestamps() const override {
+    return dataset_.timestamps();
+  }
+  uint64_t num_points() const override { return dataset_.num_points(); }
+
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  Dataset dataset_;
+};
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_MEMORY_STORE_H_

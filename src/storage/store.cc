@@ -1,0 +1,75 @@
+#include "storage/store.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "storage/bptree_store.h"
+#include "storage/file_store.h"
+#include "storage/lsm_store.h"
+#include "storage/memory_store.h"
+
+namespace k2 {
+
+std::string IoStats::DebugString() const {
+  std::ostringstream os;
+  os << "IoStats{scans=" << snapshot_scans
+     << ", scanned_points=" << scanned_points
+     << ", point_queries=" << point_queries << ", point_hits=" << point_hits
+     << ", bytes_read=" << bytes_read << ", seeks=" << seeks
+     << ", pages_read=" << pages_read << ", pages_cached=" << pages_cached
+     << ", bloom_negative=" << bloom_negative
+     << ", sstables_touched=" << sstables_touched << "}";
+  return os.str();
+}
+
+IoStats IoStats::Delta(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.snapshot_scans = after.snapshot_scans - before.snapshot_scans;
+  d.scanned_points = after.scanned_points - before.scanned_points;
+  d.point_queries = after.point_queries - before.point_queries;
+  d.point_hits = after.point_hits - before.point_hits;
+  d.bytes_read = after.bytes_read - before.bytes_read;
+  d.seeks = after.seeks - before.seeks;
+  d.pages_read = after.pages_read - before.pages_read;
+  d.pages_cached = after.pages_cached - before.pages_cached;
+  d.bloom_negative = after.bloom_negative - before.bloom_negative;
+  d.sstables_touched = after.sstables_touched - before.sstables_touched;
+  return d;
+}
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kMemory:
+      return "memory";
+    case StoreKind::kFile:
+      return "file";
+    case StoreKind::kBPlusTree:
+      return "rdbms";
+    case StoreKind::kLsm:
+      return "lsmt";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Store>> CreateStore(StoreKind kind,
+                                           const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && kind != StoreKind::kMemory) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  switch (kind) {
+    case StoreKind::kMemory:
+      return std::unique_ptr<Store>(new MemoryStore());
+    case StoreKind::kFile:
+      return std::unique_ptr<Store>(new FileStore(dir + "/data.bin"));
+    case StoreKind::kBPlusTree:
+      return std::unique_ptr<Store>(new BPlusTreeStore(dir + "/tree.db"));
+    case StoreKind::kLsm:
+      return std::unique_ptr<Store>(new LsmStore(dir + "/lsm"));
+  }
+  return Status::Invalid("unknown store kind");
+}
+
+}  // namespace k2

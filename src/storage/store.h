@@ -1,0 +1,96 @@
+// Persistent-storage abstraction of paper Sec. 5. k/2-hop touches data in
+// exactly two ways: (1) full snapshot scans at benchmark points and (2)
+// random point reads `(t, oid)` for candidate objects inside hop-windows.
+// Every engine implements both and maintains IO statistics so the benches
+// can attribute performance to access-path behaviour.
+#ifndef K2_STORAGE_STORE_H_
+#define K2_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/object_set.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+/// Counters accumulated by a store across queries; reset with Clear().
+struct IoStats {
+  uint64_t snapshot_scans = 0;   ///< ScanTimestamp calls.
+  uint64_t scanned_points = 0;   ///< Rows returned by snapshot scans.
+  uint64_t point_queries = 0;    ///< (t, oid) lookups issued.
+  uint64_t point_hits = 0;       ///< Rows found by point lookups.
+  uint64_t bytes_read = 0;       ///< Bytes fetched from the medium.
+  uint64_t seeks = 0;            ///< Random repositionings of the medium.
+  uint64_t pages_read = 0;       ///< Buffer-pool misses (page stores).
+  uint64_t pages_cached = 0;     ///< Buffer-pool hits (page stores).
+  uint64_t bloom_negative = 0;   ///< LSM lookups short-circuited by bloom.
+  uint64_t sstables_touched = 0; ///< LSM tables consulted.
+
+  /// Total rows materialized for the caller (the paper's "points processed").
+  uint64_t points_read() const { return scanned_points + point_hits; }
+
+  void Clear() { *this = IoStats(); }
+  std::string DebugString() const;
+
+  /// Component-wise difference (after - before), for measuring the IO cost
+  /// of one mining run.
+  static IoStats Delta(const IoStats& after, const IoStats& before);
+};
+
+/// Abstract trajectory store keyed by the composite clustered key (t, oid).
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Engine name used in reports ("memory", "file", "rdbms", "lsmt").
+  virtual std::string name() const = 0;
+
+  /// Replaces the store content with `dataset` (records already in
+  /// (t, oid) order). Called once before mining.
+  virtual Status BulkLoad(const Dataset& dataset) = 0;
+
+  /// Fetches all points at tick `t` into `*out` (cleared first), in oid
+  /// order. A tick without data yields an empty result and OK status.
+  virtual Status ScanTimestamp(Timestamp t,
+                               std::vector<SnapshotPoint>* out) = 0;
+
+  /// Fetches the points of the given objects at tick `t` into `*out`
+  /// (cleared first), in oid order; objects absent at `t` are skipped.
+  virtual Status GetPoints(Timestamp t, const ObjectSet& objects,
+                           std::vector<SnapshotPoint>* out) = 0;
+
+  /// Inclusive tick range present in the store.
+  virtual TimeRange time_range() const = 0;
+
+  /// Distinct ticks that carry data, ascending.
+  virtual const std::vector<Timestamp>& timestamps() const = 0;
+
+  /// Total number of stored rows.
+  virtual uint64_t num_points() const = 0;
+
+  IoStats& io_stats() { return io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+
+ protected:
+  IoStats io_stats_;
+};
+
+/// Factory helpers used by benches and examples; `dir` is a scratch
+/// directory for the disk-backed engines.
+enum class StoreKind { kMemory, kFile, kBPlusTree, kLsm };
+
+const char* StoreKindName(StoreKind kind);
+
+/// Creates an empty store of the given kind; disk engines place their files
+/// under `dir` (created if needed).
+Result<std::unique_ptr<Store>> CreateStore(StoreKind kind,
+                                           const std::string& dir);
+
+}  // namespace k2
+
+#endif  // K2_STORAGE_STORE_H_

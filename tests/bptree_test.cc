@@ -1,0 +1,204 @@
+// White-box tests for the B+-tree engine: key packing, multi-level builds,
+// leaf-chain scans, and buffer-pool behaviour.
+#include <gtest/gtest.h>
+
+#include "model/dataset.h"
+#include "storage/bptree/bptree.h"
+#include "storage/key.h"
+#include "storage/store.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::ScratchDir;
+
+Dataset SequentialDataset(int num_ticks, int objects_per_tick) {
+  DatasetBuilder builder;
+  for (Timestamp t = 0; t < num_ticks; ++t) {
+    for (ObjectId o = 0; o < static_cast<ObjectId>(objects_per_tick); ++o) {
+      builder.Add(t, o, t * 1000.0 + o, -static_cast<double>(o));
+    }
+  }
+  return builder.Build();
+}
+
+TEST(KeyPackingTest, OrderPreservedAcrossSignBoundary) {
+  // Unsigned comparison of packed keys must match (t, oid) order even for
+  // negative timestamps.
+  EXPECT_LT(MakeKey(-5, 10), MakeKey(-5, 11));
+  EXPECT_LT(MakeKey(-5, 0xffffffffu), MakeKey(-4, 0));
+  EXPECT_LT(MakeKey(-1, 0xffffffffu), MakeKey(0, 0));
+  EXPECT_LT(MakeKey(0, 0xffffffffu), MakeKey(1, 0));
+  EXPECT_LT(MakeKey(7, 3), MakeKey(8, 0));
+}
+
+TEST(KeyPackingTest, RoundTrips) {
+  for (Timestamp t : {-100, -1, 0, 1, 12345}) {
+    for (ObjectId oid : {0u, 7u, 0xffffffffu}) {
+      const uint64_t key = MakeKey(t, oid);
+      EXPECT_EQ(KeyTime(key), t);
+      EXPECT_EQ(KeyOid(key), oid);
+    }
+  }
+}
+
+TEST(KeyPackingTest, MinMaxKeyBracketTimestamp) {
+  EXPECT_LT(MakeKey(4, 0xffffffffu), MinKeyOf(5));
+  EXPECT_LE(MinKeyOf(5), MakeKey(5, 0));
+  EXPECT_LE(MakeKey(5, 0xffffffffu), MaxKeyOf(5));
+  EXPECT_LT(MaxKeyOf(5), MinKeyOf(6));
+}
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<BPlusTree> Build(const Dataset& ds, size_t pool_pages = 64) {
+    dir_ = ScratchDir("bptree");
+    auto tree = std::make_unique<BPlusTree>(dir_ + "/t.db", pool_pages,
+                                            &stats_);
+    K2_CHECK_OK(tree->BuildFrom(ds));
+    return tree;
+  }
+  IoStats stats_;
+  std::string dir_;
+};
+
+TEST_F(BPlusTreeTest, SingleLeafTree) {
+  auto tree = Build(SequentialDataset(2, 3));  // 6 records, one leaf
+  EXPECT_EQ(tree->height(), 1u);
+  BPTreeValue v;
+  bool found = false;
+  ASSERT_TRUE(tree->Get(MakeKey(1, 2), &v, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_DOUBLE_EQ(v.x, 1002.0);
+  ASSERT_TRUE(tree->Get(MakeKey(1, 3), &v, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BPlusTreeTest, MultiLevelBuildAndLookup) {
+  // 60 ticks x 100 objects = 6000 records > 170/leaf -> internal levels.
+  const Dataset ds = SequentialDataset(60, 100);
+  auto tree = Build(ds);
+  EXPECT_GE(tree->height(), 2u);
+  EXPECT_EQ(tree->num_records(), 6000u);
+  BPTreeValue v;
+  bool found = false;
+  for (const PointRecord& rec : ds.records()) {
+    ASSERT_TRUE(tree->Get(MakeKey(rec.t, rec.oid), &v, &found).ok());
+    ASSERT_TRUE(found) << "t=" << rec.t << " oid=" << rec.oid;
+    ASSERT_DOUBLE_EQ(v.x, rec.x);
+  }
+  // Probe keys that are definitely absent.
+  ASSERT_TRUE(tree->Get(MakeKey(60, 0), &v, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(tree->Get(MakeKey(-1, 0), &v, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BPlusTreeTest, RangeScanCrossesLeaves) {
+  const Dataset ds = SequentialDataset(10, 100);  // 100/tick > leaf/2
+  auto tree = Build(ds);
+  size_t count = 0;
+  uint64_t prev_key = 0;
+  ASSERT_TRUE(tree->ScanRange(MinKeyOf(3), MaxKeyOf(5),
+                              [&](uint64_t key, const BPTreeValue&) {
+                                if (count > 0) EXPECT_GT(key, prev_key);
+                                prev_key = key;
+                                ++count;
+                              })
+                  .ok());
+  EXPECT_EQ(count, 300u);
+}
+
+TEST_F(BPlusTreeTest, EmptyRangeScan) {
+  auto tree = Build(SequentialDataset(5, 5));
+  size_t count = 0;
+  ASSERT_TRUE(tree->ScanRange(MinKeyOf(99), MaxKeyOf(99),
+                              [&](uint64_t, const BPTreeValue&) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  auto tree = Build(DatasetBuilder().Build());
+  BPTreeValue v;
+  bool found = true;
+  ASSERT_TRUE(tree->Get(MakeKey(0, 0), &v, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BPlusTreeTest, TinyBufferPoolStillCorrectButReadsMore) {
+  const Dataset ds = SequentialDataset(40, 100);
+  auto big_pool = Build(ds, 512);
+  stats_.Clear();
+  BPTreeValue v;
+  bool found;
+  for (int probe = 0; probe < 200; ++probe) {
+    ASSERT_TRUE(
+        big_pool->Get(MakeKey(probe % 40, (probe * 17) % 100), &v, &found)
+            .ok());
+    ASSERT_TRUE(found);
+  }
+  const uint64_t big_pool_reads = stats_.pages_read;
+
+  auto tiny_pool = Build(ds, 2);
+  stats_.Clear();
+  for (int probe = 0; probe < 200; ++probe) {
+    ASSERT_TRUE(
+        tiny_pool->Get(MakeKey(probe % 40, (probe * 17) % 100), &v, &found)
+            .ok());
+    ASSERT_TRUE(found);
+  }
+  EXPECT_GT(stats_.pages_read, big_pool_reads);
+  EXPECT_GT(stats_.pages_cached, 0u);
+}
+
+TEST_F(BPlusTreeTest, DropCachesForcesReread) {
+  auto tree = Build(SequentialDataset(5, 5));
+  BPTreeValue v;
+  bool found;
+  ASSERT_TRUE(tree->Get(MakeKey(0, 0), &v, &found).ok());
+  stats_.Clear();
+  ASSERT_TRUE(tree->Get(MakeKey(0, 0), &v, &found).ok());
+  EXPECT_EQ(stats_.pages_read, 0u);  // warm
+  tree->DropCaches();
+  ASSERT_TRUE(tree->Get(MakeKey(0, 0), &v, &found).ok());
+  EXPECT_GT(stats_.pages_read, 0u);  // cold again
+}
+
+TEST_F(BPlusTreeTest, PageGeometryConstants) {
+  // 24-byte leaf entries and 12-byte internal entries in 4 KiB pages; the
+  // internal capacity must leave room for the (n + 1)-th child pointer.
+  EXPECT_EQ(BPlusTree::kLeafCapacity, 170u);
+  EXPECT_EQ(BPlusTree::kInternalCapacity, 339u);
+  EXPECT_LE(16 + 8 * BPlusTree::kInternalCapacity +
+                4 * (BPlusTree::kInternalCapacity + 1),
+            kPageSize);
+}
+
+TEST_F(BPlusTreeTest, ThreeLevelTreeFullCoverage) {
+  // Enough records to force height 3 (> 170 * 339 rows would need leaves
+  // beyond one internal node; 64,600 rows = 380 leaves > 339 children).
+  DatasetBuilder builder;
+  for (Timestamp t = 0; t < 340; ++t) {
+    for (ObjectId o = 0; o < 190; ++o) {
+      builder.Add(t, o, t * 2.0, o * 3.0);
+    }
+  }
+  const Dataset ds = builder.Build();
+  auto tree = Build(ds);
+  EXPECT_GE(tree->height(), 3u);
+  // Every tick must scan to exactly 190 rows — this is the regression test
+  // for the internal-page child-array overflow (descends through the last
+  // child slot of full internal nodes).
+  for (Timestamp t = 0; t < 340; ++t) {
+    size_t n = 0;
+    ASSERT_TRUE(tree->ScanRange(MinKeyOf(t), MaxKeyOf(t),
+                                [&](uint64_t, const BPTreeValue&) { ++n; })
+                    .ok());
+    ASSERT_EQ(n, 190u) << "tick " << t;
+  }
+}
+
+}  // namespace
+}  // namespace k2

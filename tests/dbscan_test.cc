@@ -1,0 +1,174 @@
+// Unit tests for the clustering substrate: grid index region queries and
+// DBSCAN semantics ((m,eps)-clusters of paper Def. 2).
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "cluster/grid_index.h"
+#include "common/object_set.h"
+
+namespace k2 {
+namespace {
+
+std::vector<SnapshotPoint> Points1D(const std::vector<double>& xs) {
+  std::vector<SnapshotPoint> pts;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    pts.push_back(SnapshotPoint{static_cast<ObjectId>(i), xs[i], 0.0});
+  }
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// GridIndex
+// ---------------------------------------------------------------------------
+
+TEST(GridIndexTest, FindsNeighborsIncludingSelf) {
+  const auto pts = Points1D({0.0, 0.5, 3.0});
+  GridIndex index(pts, 1.0);
+  std::vector<uint32_t> out;
+  index.Neighbors(0, 1.0, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(GridIndexTest, EpsBoundaryIsInclusive) {
+  const auto pts = Points1D({0.0, 1.0});
+  GridIndex index(pts, 1.0);
+  std::vector<uint32_t> out;
+  index.Neighbors(0, 1.0, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  std::vector<SnapshotPoint> pts{{0, -0.4, -0.4}, {1, 0.4, 0.4}, {2, -5, -5}};
+  GridIndex index(pts, 2.0);
+  std::vector<uint32_t> out;
+  index.Neighbors(0, 2.0, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(GridIndexTest, NeighborsOfArbitraryLocation) {
+  const auto pts = Points1D({0.0, 10.0});
+  GridIndex index(pts, 1.0);
+  std::vector<uint32_t> out;
+  index.NeighborsOf(9.5, 0.0, 1.0, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1}));
+}
+
+TEST(GridIndexTest, DiagonalCellsCovered) {
+  // Two points in diagonal cells, within eps of each other.
+  std::vector<SnapshotPoint> pts{{0, 0.95, 0.95}, {1, 1.05, 1.05}};
+  GridIndex index(pts, 1.0);
+  std::vector<uint32_t> out;
+  index.Neighbors(0, 1.0, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN
+// ---------------------------------------------------------------------------
+
+TEST(DbscanTest, EmptyInput) {
+  EXPECT_TRUE(Dbscan({}, 1.0, 2).empty());
+}
+
+TEST(DbscanTest, SingleGroupClusters) {
+  const auto pts = Points1D({0.0, 0.8, 1.6});
+  const auto clusters = Dbscan(pts, 1.0, 2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], ObjectSet::Of({0, 1, 2}));
+}
+
+TEST(DbscanTest, TwoSeparatedGroups) {
+  const auto pts = Points1D({0.0, 0.5, 100.0, 100.5});
+  const auto clusters = Dbscan(pts, 1.0, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], ObjectSet::Of({0, 1}));
+  EXPECT_EQ(clusters[1], ObjectSet::Of({2, 3}));
+}
+
+TEST(DbscanTest, ChainConnectivity) {
+  // A chain where only consecutive points are within eps: density-connected
+  // into one cluster when every point is core.
+  const auto pts = Points1D({0.0, 0.9, 1.8, 2.7, 3.6});
+  const auto clusters = Dbscan(pts, 1.0, 2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 5u);
+}
+
+TEST(DbscanTest, MinPtsCountsSelf) {
+  // |NH(p, eps)| >= m includes p itself (Sec. 3.1): two mutual neighbours
+  // with m = 2 are both core.
+  const auto pts = Points1D({0.0, 0.5});
+  EXPECT_EQ(Dbscan(pts, 1.0, 2).size(), 1u);
+  // With m = 3, no core points -> no clusters.
+  EXPECT_TRUE(Dbscan(pts, 1.0, 3).empty());
+}
+
+TEST(DbscanTest, NoisePointsExcluded) {
+  const auto pts = Points1D({0.0, 0.5, 50.0});
+  const auto clusters = Dbscan(pts, 1.0, 2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_FALSE(clusters[0].Contains(2));
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // m = 3: points at 0, 0.5, 1.0 make 0.5 core; 1.4 is border (within eps
+  // of the core at 1.0 only after expansion).
+  const auto pts = Points1D({0.0, 0.5, 1.0, 1.9});
+  const auto clusters = Dbscan(pts, 1.0, 3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_TRUE(clusters[0].Contains(3));  // border point included
+}
+
+TEST(DbscanTest, DuplicatePositionsCluster) {
+  std::vector<SnapshotPoint> pts{{0, 5, 5}, {1, 5, 5}, {2, 5, 5}};
+  const auto clusters = Dbscan(pts, 0.5, 3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(DbscanTest, SubsetRestrictsClustering) {
+  // Objects 0,1,2 are chained through 1; removing 1 disconnects them.
+  const auto pts = Points1D({0.0, 0.9, 1.8});
+  const auto all = Dbscan(pts, 1.0, 2);
+  ASSERT_EQ(all.size(), 1u);
+  const auto sub = DbscanSubset(pts, ObjectSet::Of({0, 2}), 1.0, 2);
+  EXPECT_TRUE(sub.empty());  // 0 and 2 are 1.8 apart
+}
+
+TEST(DbscanTest, LabelledOutputConsistentWithClusters) {
+  const auto pts = Points1D({0.0, 0.5, 10.0, 10.5, 50.0});
+  const DbscanLabels labels = DbscanLabelled(pts, 1.0, 2);
+  EXPECT_EQ(labels.num_clusters, 2);
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_EQ(labels.label[2], labels.label[3]);
+  EXPECT_NE(labels.label[0], labels.label[2]);
+  EXPECT_EQ(labels.label[4], -1);  // noise
+}
+
+TEST(DbscanTest, ClustersAreDisjoint) {
+  // Randomish blob: every object must appear in at most one cluster.
+  std::vector<SnapshotPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back(SnapshotPoint{static_cast<ObjectId>(i),
+                                (i * 37 % 19) * 0.7, (i * 53 % 23) * 0.7});
+  }
+  const auto clusters = Dbscan(pts, 1.0, 3);
+  std::vector<ObjectId> seen;
+  for (const auto& c : clusters) {
+    for (ObjectId oid : c) seen.push_back(oid);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(DbscanTest, LargeEpsMergesEverything) {
+  const auto pts = Points1D({0.0, 3.0, 6.0, 9.0});
+  const auto clusters = Dbscan(pts, 100.0, 2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace k2

@@ -1,0 +1,161 @@
+// Generator invariants: determinism, shape, and that planted ground truth is
+// recoverable by the miners.
+#include <gtest/gtest.h>
+
+#include "baselines/gold.h"
+#include "core/k2hop.h"
+#include "gen/brinkhoff.h"
+#include "gen/synthetic.h"
+#include "gen/tdrive.h"
+#include "gen/trucks.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::MakeMemStore;
+
+TEST(RandomWalkGenTest, DeterministicForSeed) {
+  RandomWalkSpec spec;
+  spec.seed = 9;
+  const Dataset a = GenerateRandomWalk(spec);
+  const Dataset b = GenerateRandomWalk(spec);
+  EXPECT_EQ(a.records(), b.records());
+  spec.seed = 10;
+  EXPECT_NE(GenerateRandomWalk(spec).records(), a.records());
+}
+
+TEST(RandomWalkGenTest, ShapeMatchesSpec) {
+  RandomWalkSpec spec;
+  spec.num_objects = 13;
+  spec.num_ticks = 17;
+  const Dataset ds = GenerateRandomWalk(spec);
+  EXPECT_EQ(ds.num_points(), 13u * 17u);
+  EXPECT_EQ(ds.num_objects(), 13u);
+  EXPECT_EQ(ds.time_range(), (TimeRange{0, 16}));
+  for (const PointRecord& rec : ds.records()) {
+    EXPECT_GE(rec.x, 0.0);
+    EXPECT_LE(rec.x, spec.area);
+  }
+}
+
+TEST(PlantedConvoyGenTest, PlantedGroupIsRecoveredByK2Hop) {
+  PlantedConvoySpec spec;
+  spec.num_noise_objects = 10;
+  spec.num_ticks = 30;
+  spec.groups = {PlantedGroup{3, 5, 24, 8.0}};
+  spec.member_spacing = 1.0;
+  spec.seed = 3;
+  const Dataset ds = GeneratePlantedConvoys(spec);
+  auto store = MakeMemStore(ds);
+  const MiningParams params{3, 10, 2.0};
+  auto out = MineK2Hop(store.get(), params);
+  ASSERT_TRUE(out.ok());
+  // The planted group (ids 0,1,2) must be reported over exactly [5,24].
+  bool found = false;
+  for (const Convoy& v : out.value()) {
+    if (v.objects == ObjectSet::Of({0, 1, 2}) && v.start == 5 && v.end == 24) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << ConvoysDebugString(out.value());
+}
+
+TEST(PlantedConvoyGenTest, TwoGroupsGetDistinctIds) {
+  PlantedConvoySpec spec;
+  spec.groups = {PlantedGroup{3, 0, 5, 8.0}, PlantedGroup{4, 2, 9, 8.0}};
+  spec.num_noise_objects = 2;
+  spec.num_ticks = 10;
+  const Dataset ds = GeneratePlantedConvoys(spec);
+  EXPECT_EQ(ds.num_objects(), 3u + 4u + 2u);
+}
+
+TEST(BrinkhoffGenTest, StatsReflectSimulation) {
+  BrinkhoffParams params;
+  params.grid.nx = 8;
+  params.grid.ny = 8;
+  params.max_time = 50;
+  params.obj_begin = 20;
+  params.obj_time = 2;
+  BrinkhoffStats stats;
+  const Dataset ds = GenerateBrinkhoff(params, &stats);
+  EXPECT_EQ(stats.num_nodes, 64u);
+  EXPECT_GT(stats.num_edges, 64u);  // grid connectivity
+  EXPECT_EQ(stats.max_time, 50);
+  EXPECT_GE(stats.moving_objects, 20u);
+  EXPECT_EQ(stats.points, ds.num_points());
+  EXPECT_GT(ds.num_points(), 500u);
+  EXPECT_LE(ds.time_range().end, 49);
+}
+
+TEST(BrinkhoffGenTest, ObjectsAppearOverTime) {
+  BrinkhoffParams params;
+  params.grid.nx = 6;
+  params.grid.ny = 6;
+  params.max_time = 30;
+  params.obj_begin = 5;
+  params.obj_time = 3;
+  const Dataset ds = GenerateBrinkhoff(params);
+  // Later snapshots should generally carry more objects than tick 0 (spawn
+  // rate outpaces early arrivals on a small grid).
+  EXPECT_GE(ds.Snapshot(0).size(), 1u);
+  EXPECT_GT(ds.num_objects(), 5u);
+}
+
+TEST(BrinkhoffGenTest, Deterministic) {
+  BrinkhoffParams params;
+  params.grid.nx = 6;
+  params.grid.ny = 6;
+  params.max_time = 20;
+  params.obj_begin = 10;
+  params.obj_time = 1;
+  EXPECT_EQ(GenerateBrinkhoff(params).records(),
+            GenerateBrinkhoff(params).records());
+}
+
+TEST(TrucksGenTest, ShapeApproximatesPaperDataset) {
+  TrucksParams params;
+  params.num_trajectories = 40;  // scaled down for test speed
+  params.ticks = 200;
+  const Dataset ds = GenerateTrucks(params);
+  EXPECT_EQ(ds.num_objects(), 40u);
+  EXPECT_EQ(ds.num_points(), 40u * 200u);  // every truck reports every tick
+  EXPECT_EQ(ds.time_range(), (TimeRange{0, 199}));
+}
+
+TEST(TrucksGenTest, ProducesConvoys) {
+  TrucksParams params;
+  params.num_trajectories = 60;
+  params.ticks = 300;
+  params.seed = 21;
+  const Dataset ds = GenerateTrucks(params);
+  auto store = MakeMemStore(ds);
+  K2HopOptions options;
+  options.validate = false;  // partially-connected candidates suffice here
+  auto out = MineK2Hop(store.get(), {2, 30, 60.0}, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().empty());  // waves of trucks travel together
+}
+
+TEST(TDriveGenTest, ScaleControlsFleetSize) {
+  TDriveParams small;
+  small.scale = 1.0 / 1024.0;
+  small.ticks = 50;
+  const Dataset a = GenerateTDrive(small);
+  TDriveParams bigger = small;
+  bigger.scale = 1.0 / 256.0;
+  const Dataset b = GenerateTDrive(bigger);
+  EXPECT_GT(b.num_objects(), a.num_objects());
+  EXPECT_EQ(a.time_range(), (TimeRange{0, 49}));
+}
+
+TEST(TDriveGenTest, EveryTaxiReportsEveryTick) {
+  TDriveParams params;
+  params.scale = 1.0 / 1024.0;
+  params.ticks = 40;
+  const Dataset ds = GenerateTDrive(params);
+  EXPECT_EQ(ds.num_points(), ds.num_objects() * 40u);
+}
+
+}  // namespace
+}  // namespace k2

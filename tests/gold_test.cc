@@ -1,0 +1,119 @@
+// Tests for the brute-force oracles themselves on hand-verifiable cases,
+// including the convoy-vs-FC-convoy distinctions of the paper's Fig. 2
+// discussion (objects connected through a non-member are convoys but not
+// fully connected convoys).
+#include <gtest/gtest.h>
+
+#include "baselines/gold.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::C;
+using ::k2::testing::MakeTracks;
+
+TEST(GoldTest, EmptyDataset) {
+  const MiningParams params{2, 2, 1.0};
+  EXPECT_TRUE(GoldMaximalConvoys(DatasetBuilder().Build(), params).empty());
+  EXPECT_TRUE(
+      GoldFullyConnectedConvoys(DatasetBuilder().Build(), params).empty());
+}
+
+TEST(GoldTest, SimpleConvoyIsBothPcAndFc) {
+  const Dataset ds = MakeTracks({{0, 0, 0}, {0.5, 0.5, 0.5}});
+  const MiningParams params{2, 3, 1.0};
+  EXPECT_SAME_CONVOYS(GoldMaximalConvoys(ds, params),
+                      std::vector<Convoy>{C({0, 1}, 0, 2)});
+  EXPECT_SAME_CONVOYS(GoldFullyConnectedConvoys(ds, params),
+                      std::vector<Convoy>{C({0, 1}, 0, 2)});
+}
+
+TEST(GoldTest, BridgedPairIsConvoyButNotFullyConnected) {
+  // The paper's ({x,y,z},[1,5])-style case collapsed to three objects:
+  // 0 and 2 sit 1.8 apart (eps = 1) and are density-connected only through
+  // object 1 in the middle — at every tick.
+  const Dataset ds = MakeTracks({{0, 0, 0}, {0.9, 0.9, 0.9}, {1.8, 1.8, 1.8}});
+  const MiningParams params{2, 3, 1.0};
+  // Partially connected: the whole chain is one maximal convoy.
+  EXPECT_SAME_CONVOYS(GoldMaximalConvoys(ds, params),
+                      std::vector<Convoy>{C({0, 1, 2}, 0, 2)});
+  // Fully connected: {0,2} alone does not cluster (1.8 > eps), but the whole
+  // chain and the adjacent pairs do; maximality keeps the chain only.
+  EXPECT_SAME_CONVOYS(GoldFullyConnectedConvoys(ds, params),
+                      std::vector<Convoy>{C({0, 1, 2}, 0, 2)});
+}
+
+TEST(GoldTest, TemporaryBridgeSplitsFcLifespan) {
+  // Objects 0,2 are bridged by 1 only at ticks 0-2; at tick 3 the bridge
+  // leaves but 0,2 drift within eps of each other.
+  const Dataset ds = MakeTracks({
+      {0.0, 0.0, 0.0, 0.0},
+      {0.9, 0.9, 0.9, 50.0},  // bridge leaves at t=3
+      {1.8, 1.8, 1.8, 0.5},   // comes close to 0 at t=3
+  });
+  const MiningParams params{2, 2, 1.0};
+  const auto fc = GoldFullyConnectedConvoys(ds, params);
+  // FC: only the full chain qualifies — {0,2} needs the bridge during
+  // [0,2] and is together on its own only at tick 3 (too short).
+  EXPECT_SAME_CONVOYS(fc, std::vector<Convoy>{C({0, 1, 2}, 0, 2)});
+  // Partially connected additionally has ({0,2},[0,3]): bridged through
+  // object 1 at ticks 0-2, directly together at tick 3.
+  const std::vector<Convoy> pc_expected = {C({0, 1, 2}, 0, 2),
+                                           C({0, 2}, 0, 3)};
+  EXPECT_SAME_CONVOYS(GoldMaximalConvoys(ds, params), pc_expected);
+}
+
+TEST(GoldTest, FcConvoyCanOutliveItsSuperset) {
+  // {0,1} together for 6 ticks; object 2 joins only for the middle 4.
+  const Dataset ds = MakeTracks({
+      {0, 0, 0, 0, 0, 0},
+      {0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+      {90, 1.0, 1.0, 1.0, 1.0, 90},
+  });
+  const MiningParams params{2, 3, 1.0};
+  const auto fc = GoldFullyConnectedConvoys(ds, params);
+  const std::vector<Convoy> expected = {C({0, 1}, 0, 5), C({0, 1, 2}, 1, 4)};
+  EXPECT_SAME_CONVOYS(fc, expected);
+}
+
+TEST(GoldTest, MinimumSizeMRespected) {
+  const Dataset ds = MakeTracks({{0, 0, 0}, {0.5, 0.5, 0.5}});
+  EXPECT_TRUE(GoldMaximalConvoys(ds, {3, 2, 1.0}).empty());
+  EXPECT_TRUE(GoldFullyConnectedConvoys(ds, {3, 2, 1.0}).empty());
+}
+
+TEST(GoldTest, GapInPresenceBreaksRun) {
+  const Dataset ds = MakeTracks({{0, 0, ::k2::testing::kGone, 0, 0},
+                                 {0.5, 0.5, ::k2::testing::kGone, 0.5, 0.5}});
+  const MiningParams params{2, 2, 1.0};
+  const std::vector<Convoy> expected = {C({0, 1}, 0, 1), C({0, 1}, 3, 4)};
+  EXPECT_SAME_CONVOYS(GoldMaximalConvoys(ds, params), expected);
+}
+
+TEST(GoldTest, EveryFcConvoyIsAlsoAConvoy) {
+  // Lemma 1 on a busy random instance: each maximal FC convoy must be a
+  // sub-convoy of some maximal (partially connected) convoy.
+  std::vector<std::vector<double>> tracks;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> track;
+    for (int t = 0; t < 12; ++t) {
+      track.push_back(((i * 7 + t * 3) % 10) * 0.8);
+    }
+    tracks.push_back(track);
+  }
+  const Dataset ds = MakeTracks(tracks);
+  const MiningParams params{2, 3, 1.0};
+  const auto pc = GoldMaximalConvoys(ds, params);
+  const auto fc = GoldFullyConnectedConvoys(ds, params);
+  for (const Convoy& v : fc) {
+    bool dominated = false;
+    for (const Convoy& w : pc) {
+      if (v.IsSubConvoyOf(w)) dominated = true;
+    }
+    EXPECT_TRUE(dominated) << v.DebugString();
+  }
+}
+
+}  // namespace
+}  // namespace k2

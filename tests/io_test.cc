@@ -1,0 +1,98 @@
+// CSV / binary dataset interchange tests.
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "io/csv.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::MakeDataset;
+using ::k2::testing::ScratchDir;
+
+TEST(CsvTest, RoundTrip) {
+  const Dataset ds =
+      MakeDataset({{0, 1, 1.5, -2.25}, {0, 2, 3.0, 4.0}, {7, 1, 0.125, 9.0}});
+  const std::string path = ScratchDir("csv_rt") + "/data.csv";
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().records(), ds.records());
+}
+
+TEST(CsvTest, HeaderColumnOrderIsFlexible) {
+  const std::string path = ScratchDir("csv_cols") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "oid,x,y,t\n7,1.0,2.0,3\n8,4.0,5.0,3\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds.value().num_points(), 2u);
+  const PointRecord* rec = ds.value().Find(3, 7);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->x, 1.0);
+}
+
+TEST(CsvTest, MissingColumnIsError) {
+  const std::string path = ScratchDir("csv_missing") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "oid,x,y\n1,2,3\n";
+  }
+  auto ds = ReadCsv(path);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalid);
+}
+
+TEST(CsvTest, MalformedRowIsError) {
+  const std::string path = ScratchDir("csv_bad") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n1,2,3.0,4.0\nnot,a,row,!\n";
+  }
+  auto ds = ReadCsv(path);
+  EXPECT_FALSE(ds.ok());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto ds = ReadCsv("/nonexistent/nowhere.csv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryTest, RoundTripLargeDataset) {
+  RandomWalkSpec spec;
+  spec.num_objects = 50;
+  spec.num_ticks = 100;
+  spec.seed = 33;
+  const Dataset ds = GenerateRandomWalk(spec);
+  const std::string path = ScratchDir("bin_rt") + "/data.bin";
+  ASSERT_TRUE(WriteBinary(ds, path).ok());
+  auto back = ReadBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().records(), ds.records());
+}
+
+TEST(BinaryTest, EmptyDatasetRoundTrip) {
+  const std::string path = ScratchDir("bin_empty") + "/data.bin";
+  ASSERT_TRUE(WriteBinary(DatasetBuilder().Build(), path).ok());
+  auto back = ReadBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(BinaryTest, RejectsForeignFile) {
+  const std::string path = ScratchDir("bin_bad") + "/garbage.bin";
+  {
+    std::ofstream out(path);
+    out << "this is not a k2hop dataset";
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace k2

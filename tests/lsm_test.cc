@@ -1,0 +1,266 @@
+// White-box tests for the LSM engine: skip list, bloom filter, SSTable
+// format, flush/compaction lifecycle, newest-wins versioning.
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "storage/key.h"
+#include "storage/lsm/bloom.h"
+#include "storage/lsm/skiplist.h"
+#include "storage/lsm/sstable.h"
+#include "storage/lsm_store.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::ScratchDir;
+using lsm::BloomFilter;
+using lsm::LsmValue;
+using lsm::SkipList;
+using lsm::SSTable;
+using lsm::SSTableBuilder;
+
+// ---------------------------------------------------------------------------
+// SkipList
+// ---------------------------------------------------------------------------
+
+TEST(SkipListTest, PutGet) {
+  SkipList list;
+  list.Put(5, {1.0, 2.0});
+  list.Put(1, {3.0, 4.0});
+  LsmValue v;
+  EXPECT_TRUE(list.Get(5, &v));
+  EXPECT_DOUBLE_EQ(v.x, 1.0);
+  EXPECT_TRUE(list.Get(1, &v));
+  EXPECT_DOUBLE_EQ(v.y, 4.0);
+  EXPECT_FALSE(list.Get(3, &v));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SkipListTest, OverwriteKeepsSize) {
+  SkipList list;
+  list.Put(7, {1, 1});
+  list.Put(7, {2, 2});
+  EXPECT_EQ(list.size(), 1u);
+  LsmValue v;
+  ASSERT_TRUE(list.Get(7, &v));
+  EXPECT_DOUBLE_EQ(v.x, 2.0);
+}
+
+TEST(SkipListTest, OrderedScan) {
+  SkipList list;
+  for (uint64_t k : {50, 10, 30, 20, 40}) list.Put(k, {double(k), 0});
+  std::vector<uint64_t> keys;
+  list.Scan(15, 45, [&](uint64_t k, const LsmValue&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{20, 30, 40}));
+}
+
+TEST(SkipListTest, ManyKeysStaySorted) {
+  SkipList list;
+  for (uint64_t i = 0; i < 5000; ++i) list.Put((i * 2654435761u) % 100000, {0, 0});
+  uint64_t prev = 0;
+  bool first = true;
+  list.ForEach([&](uint64_t k, const LsmValue&) {
+    if (!first) EXPECT_GT(k, prev);
+    prev = k;
+    first = false;
+  });
+}
+
+TEST(SkipListTest, ClearEmptiesList) {
+  SkipList list;
+  list.Put(1, {0, 0});
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  LsmValue v;
+  EXPECT_FALSE(list.Get(1, &v));
+}
+
+// ---------------------------------------------------------------------------
+// BloomFilter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(bloom.MayContain(k * 7919));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsLow) {
+  BloomFilter bloom(1000, 10);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k);
+  int fp = 0;
+  for (uint64_t k = 1000000; k < 1010000; ++k) {
+    if (bloom.MayContain(k)) ++fp;
+  }
+  EXPECT_LT(fp, 500);  // ~1% expected at 10 bits/key; 5% safety bound
+}
+
+TEST(BloomFilterTest, SerializationRoundTrip) {
+  BloomFilter bloom(100);
+  for (uint64_t k = 0; k < 100; ++k) bloom.Add(k * 31);
+  BloomFilter copy = BloomFilter::FromWords(bloom.words(), bloom.num_hashes());
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(copy.MayContain(k * 31));
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+TEST(SSTableTest, BuildOpenGetScan) {
+  const std::string dir = ScratchDir("sstable");
+  const std::string path = dir + "/t1.sst";
+  SSTableBuilder builder(path);
+  builder.Reserve(1000);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(builder.Add(k * 3, {double(k), double(-k)}).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  IoStats stats;
+  auto open = SSTable::Open(path, 1, &stats);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  std::unique_ptr<SSTable> table = open.MoveValue();
+  EXPECT_EQ(table->num_entries(), 1000u);
+  EXPECT_EQ(table->min_key(), 0u);
+  EXPECT_EQ(table->max_key(), 2997u);
+
+  LsmValue v;
+  auto hit = table->Get(300, &v);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value());
+  EXPECT_DOUBLE_EQ(v.x, 100.0);
+  auto miss = table->Get(301, &v);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value());
+
+  std::vector<uint64_t> keys;
+  ASSERT_TRUE(
+      table->Scan(100, 200, [&](uint64_t k, const LsmValue&) { keys.push_back(k); })
+          .ok());
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 102u);
+  EXPECT_EQ(keys.back(), 198u);
+}
+
+TEST(SSTableTest, RejectsOutOfOrderKeys) {
+  const std::string path = ScratchDir("sstable_order") + "/t.sst";
+  SSTableBuilder builder(path);
+  ASSERT_TRUE(builder.Add(10, {0, 0}).ok());
+  EXPECT_FALSE(builder.Add(10, {0, 0}).ok());
+  EXPECT_FALSE(builder.Add(5, {0, 0}).ok());
+}
+
+TEST(SSTableTest, BloomShortCircuitsMisses) {
+  const std::string path = ScratchDir("sstable_bloom") + "/t.sst";
+  SSTableBuilder builder(path);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(builder.Add(k * 2, {0, 0}).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  IoStats stats;
+  auto table = SSTable::Open(path, 1, &stats).MoveValue();
+  LsmValue v;
+  int bloom_skips = 0;
+  for (uint64_t k = 1; k < 999; k += 2) {  // all absent, inside key range
+    ASSERT_TRUE(table->Get(k, &v).ok());
+    bloom_skips = static_cast<int>(stats.bloom_negative);
+  }
+  EXPECT_GT(bloom_skips, 400);  // most misses never touch a data block
+}
+
+// ---------------------------------------------------------------------------
+// LsmStore
+// ---------------------------------------------------------------------------
+
+TEST(LsmStoreTest, FlushProducesSSTables) {
+  LsmStore::Options options;
+  options.memtable_limit = 100;
+  LsmStore store(ScratchDir("lsm_flush"), options);
+  for (Timestamp t = 0; t < 50; ++t) {
+    for (ObjectId o = 0; o < 10; ++o) {
+      ASSERT_TRUE(store.Put(t, o, t, o).ok());
+    }
+  }
+  EXPECT_GT(store.num_sstables(), 0u);
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_EQ(store.memtable_entries(), 0u);
+  EXPECT_EQ(store.num_points(), 500u);
+}
+
+TEST(LsmStoreTest, CompactionMergesTiers) {
+  LsmStore::Options options;
+  options.memtable_limit = 64;
+  options.tier_fanout = 2;
+  LsmStore store(ScratchDir("lsm_compact"), options);
+  for (Timestamp t = 0; t < 100; ++t) {
+    for (ObjectId o = 0; o < 8; ++o) ASSERT_TRUE(store.Put(t, o, t, o).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_GT(store.compactions_run(), 0u);
+  // All data still readable after compaction.
+  std::vector<SnapshotPoint> out;
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(store.ScanTimestamp(t, &out).ok());
+    ASSERT_EQ(out.size(), 8u) << "tick " << t;
+  }
+}
+
+TEST(LsmStoreTest, NewestVersionWinsAcrossMemtableAndTables) {
+  LsmStore store(ScratchDir("lsm_version"));
+  ASSERT_TRUE(store.Put(0, 1, 1.0, 1.0).ok());
+  ASSERT_TRUE(store.Flush().ok());          // version 1 on disk
+  ASSERT_TRUE(store.Put(0, 1, 2.0, 2.0).ok());  // version 2 in memtable
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store.ScanTimestamp(0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 2.0);
+  ASSERT_TRUE(store.GetPoints(0, ObjectSet::Of({1}), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 2.0);
+
+  // Flush both and let compaction resolve versions on disk too.
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.ScanTimestamp(0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 2.0);
+}
+
+TEST(LsmStoreTest, BulkLoadRunsThroughWritePath) {
+  RandomWalkSpec spec;
+  spec.num_objects = 30;
+  spec.num_ticks = 200;  // 6000 rows
+  spec.seed = 5;
+  const Dataset ds = GenerateRandomWalk(spec);
+  LsmStore::Options options;
+  options.memtable_limit = 1000;
+  LsmStore store(ScratchDir("lsm_bulk"), options);
+  ASSERT_TRUE(store.BulkLoad(ds).ok());
+  EXPECT_GT(store.num_sstables(), 1u);  // several flushes happened
+  EXPECT_EQ(store.num_points(), ds.num_points());
+}
+
+TEST(LsmStoreTest, TimestampsTrackInserts) {
+  LsmStore store(ScratchDir("lsm_ticks"));
+  ASSERT_TRUE(store.Put(5, 1, 0, 0).ok());
+  ASSERT_TRUE(store.Put(2, 1, 0, 0).ok());
+  ASSERT_TRUE(store.Put(5, 2, 0, 0).ok());
+  EXPECT_EQ(store.timestamps(), (std::vector<Timestamp>{2, 5}));
+  EXPECT_EQ(store.time_range(), (TimeRange{2, 5}));
+}
+
+TEST(LsmStoreTest, BloomAblationStillCorrect) {
+  LsmStore::Options options;
+  options.use_bloom = false;
+  options.memtable_limit = 50;
+  LsmStore store(ScratchDir("lsm_nobloom"), options);
+  for (Timestamp t = 0; t < 30; ++t) {
+    for (ObjectId o = 0; o < 5; ++o) ASSERT_TRUE(store.Put(t, o, t, o).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store.GetPoints(10, ObjectSet::Of({0, 3, 9}), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(store.io_stats().bloom_negative, 0u);
+}
+
+}  // namespace
+}  // namespace k2

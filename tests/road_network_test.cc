@@ -1,0 +1,143 @@
+// Road network and path-mover tests for the generator substrate.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/road_network.h"
+
+namespace k2 {
+namespace {
+
+RoadNetwork SmallGrid(uint64_t seed = 1) {
+  RoadNetwork::GridSpec spec;
+  spec.nx = 8;
+  spec.ny = 8;
+  spec.spacing = 100.0;
+  spec.jitter = 5.0;
+  spec.highway_every = 4;
+  return RoadNetwork::MakeGrid(spec, seed);
+}
+
+TEST(RoadNetworkTest, GridHasExpectedNodeCount) {
+  const RoadNetwork net = SmallGrid();
+  EXPECT_EQ(net.num_nodes(), 64u);
+  EXPECT_GT(net.num_edges(), 60u);
+  EXPECT_GT(net.width(), 0.0);
+  EXPECT_GT(net.height(), 0.0);
+}
+
+TEST(RoadNetworkTest, EdgesHavePositiveSpeedAndLength) {
+  const RoadNetwork net = SmallGrid();
+  for (uint32_t n = 0; n < net.num_nodes(); ++n) {
+    for (const RoadEdge& e : net.OutEdges(n)) {
+      EXPECT_GT(e.speed, 0.0);
+      EXPECT_GE(e.length, 0.0);
+      EXPECT_GE(e.edge_class, 0);
+      EXPECT_LE(e.edge_class, 2);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, HighwaysAreFasterThanSideStreets) {
+  const RoadNetwork net = SmallGrid();
+  double side = 0.0, highway = 0.0;
+  for (uint32_t n = 0; n < net.num_nodes(); ++n) {
+    for (const RoadEdge& e : net.OutEdges(n)) {
+      if (e.edge_class == 0) side = e.speed;
+      if (e.edge_class == 2) highway = e.speed;
+    }
+  }
+  ASSERT_GT(side, 0.0);
+  ASSERT_GT(highway, 0.0);
+  EXPECT_GT(highway, side);
+}
+
+TEST(RoadNetworkTest, PathIsConnectedThroughAdjacentNodes) {
+  const RoadNetwork net = SmallGrid();
+  std::vector<uint32_t> path;
+  ASSERT_TRUE(net.FindPath(0, static_cast<uint32_t>(net.num_nodes() - 1), &path));
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), net.num_nodes() - 1);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    bool adjacent = false;
+    for (const RoadEdge& e : net.OutEdges(path[i])) {
+      if (e.to == path[i + 1]) adjacent = true;
+    }
+    ASSERT_TRUE(adjacent) << "hop " << i;
+  }
+}
+
+TEST(RoadNetworkTest, TrivialPath) {
+  const RoadNetwork net = SmallGrid();
+  std::vector<uint32_t> path;
+  ASSERT_TRUE(net.FindPath(5, 5, &path));
+  EXPECT_EQ(path, (std::vector<uint32_t>{5}));
+}
+
+TEST(RoadNetworkTest, AStarPrefersFasterRoutes) {
+  // Travel time along the returned path should never exceed the direct
+  // side-street path time (A* optimizes time, not distance).
+  const RoadNetwork net = SmallGrid(7);
+  std::vector<uint32_t> path;
+  ASSERT_TRUE(net.FindPath(9, 54, &path));
+  double time = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    for (const RoadEdge& e : net.OutEdges(path[i])) {
+      if (e.to == path[i + 1]) {
+        time += e.length / e.speed;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(time, 0.0);
+  EXPECT_LT(time, 100.0);
+}
+
+TEST(RoadNetworkTest, NearestNodeFindsClosest) {
+  const RoadNetwork net = SmallGrid();
+  const uint32_t n = net.NearestNode(net.node(10).x, net.node(10).y);
+  EXPECT_EQ(n, 10u);
+}
+
+TEST(PathMoverTest, ReachesDestinationAndStops) {
+  const RoadNetwork net = SmallGrid();
+  std::vector<uint32_t> path;
+  ASSERT_TRUE(net.FindPath(0, 63, &path));
+  PathMover mover(&net, path);
+  int steps = 0;
+  while (!mover.done() && steps < 10000) {
+    mover.Step();
+    ++steps;
+  }
+  ASSERT_TRUE(mover.done());
+  EXPECT_NEAR(mover.Position().x, net.node(63).x, 1e-6);
+  EXPECT_NEAR(mover.Position().y, net.node(63).y, 1e-6);
+  // Further steps are no-ops.
+  const RoadNode before = mover.Position();
+  mover.Step();
+  EXPECT_DOUBLE_EQ(mover.Position().x, before.x);
+}
+
+TEST(PathMoverTest, ProgressIsMonotoneTowardNextNode) {
+  const RoadNetwork net = SmallGrid();
+  std::vector<uint32_t> path;
+  ASSERT_TRUE(net.FindPath(0, 7, &path));
+  PathMover mover(&net, path);
+  double prev_dist = 1e18;
+  for (int i = 0; i < 5 && !mover.done(); ++i) {
+    const RoadNode pos = mover.Step();
+    const RoadNode& goal = net.node(7);
+    const double d = std::hypot(pos.x - goal.x, pos.y - goal.y);
+    EXPECT_LE(d, prev_dist + 1e-9);
+    prev_dist = d;
+  }
+}
+
+TEST(PathMoverTest, SinglePointPathIsImmediatelyDone) {
+  const RoadNetwork net = SmallGrid();
+  PathMover mover(&net, {3});
+  EXPECT_TRUE(mover.done());
+}
+
+}  // namespace
+}  // namespace k2

@@ -1,0 +1,176 @@
+// Unit tests for the parallel baselines: DCM partition merge and SPARE
+// enumeration behaviour (worker invariance, budget safety valve).
+#include <gtest/gtest.h>
+
+#include "baselines/dcm.h"
+#include "baselines/spare.h"
+#include "gen/synthetic.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::C;
+using ::k2::testing::MakeMemStore;
+using ::k2::testing::MakeTracks;
+
+// ---------------------------------------------------------------------------
+// DCM
+// ---------------------------------------------------------------------------
+
+TEST(DcmMergeTest, FusesBorderPiecesAcrossPartitions) {
+  // Convoy {1,2} spans [0,9]; pieces live in two partitions.
+  const std::vector<TimeRange> ranges{{0, 4}, {5, 9}};
+  std::vector<std::vector<Convoy>> parts{{C({1, 2}, 0, 4)},
+                                         {C({1, 2}, 5, 9)}};
+  const auto merged = DcmMergePartitions(parts, ranges, {2, 6, 1.0});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], C({1, 2}, 0, 9));
+}
+
+TEST(DcmMergeTest, IntersectionShrinksAcrossBoundary) {
+  const std::vector<TimeRange> ranges{{0, 4}, {5, 9}};
+  std::vector<std::vector<Convoy>> parts{{C({1, 2, 3}, 0, 4)},
+                                         {C({2, 3, 4}, 5, 9)}};
+  const auto merged = DcmMergePartitions(parts, ranges, {2, 8, 1.0});
+  // Only {2,3} survives the full span, length 10 >= 8; the pieces
+  // themselves are shorter than k and dropped.
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], C({2, 3}, 0, 9));
+}
+
+TEST(DcmMergeTest, NonTouchingPiecesDoNotFuse) {
+  const std::vector<TimeRange> ranges{{0, 4}, {5, 9}};
+  std::vector<std::vector<Convoy>> parts{{C({1, 2}, 0, 3)},   // ends early
+                                         {C({1, 2}, 6, 9)}};  // starts late
+  const auto merged = DcmMergePartitions(parts, ranges, {2, 4, 1.0});
+  // Each piece stands alone; both are length 4 = k.
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(DcmMergeTest, ChainsThroughThreePartitions) {
+  const std::vector<TimeRange> ranges{{0, 2}, {3, 5}, {6, 8}};
+  std::vector<std::vector<Convoy>> parts{
+      {C({1, 2}, 0, 2)}, {C({1, 2}, 3, 5)}, {C({1, 2}, 6, 8)}};
+  const auto merged = DcmMergePartitions(parts, ranges, {2, 9, 1.0});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], C({1, 2}, 0, 8));
+}
+
+TEST(DcmTest, WorkerCountDoesNotChangeResults) {
+  RandomWalkSpec spec;
+  spec.num_objects = 12;
+  spec.num_ticks = 24;
+  spec.area = 50.0;
+  spec.seed = 17;
+  const Dataset ds = GenerateRandomWalk(spec);
+  auto store = MakeMemStore(ds);
+  const MiningParams params{2, 4, 9.0};
+
+  DcmOptions serial;
+  serial.num_partitions = 4;
+  serial.num_workers = 1;
+  auto a = MineDcm(store.get(), params, serial);
+  DcmOptions parallel;
+  parallel.num_partitions = 4;
+  parallel.num_workers = 4;
+  auto b = MineDcm(store.get(), params, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_SAME_CONVOYS(a.value(), b.value());
+}
+
+TEST(DcmTest, SinglePartitionEqualsPlainSweep) {
+  auto store = MakeMemStore(MakeTracks({{0, 0, 0, 0}, {0.5, 0.5, 0.5, 0.5}}));
+  DcmOptions options;
+  options.num_partitions = 1;
+  auto out = MineDcm(store.get(), {2, 3, 1.0}, options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0], C({0, 1}, 0, 3));
+}
+
+TEST(DcmTest, MorePartitionsThanTicks) {
+  auto store = MakeMemStore(MakeTracks({{0, 0}, {0.5, 0.5}}));
+  DcmOptions options;
+  options.num_partitions = 10;
+  auto out = MineDcm(store.get(), {2, 2, 1.0}, options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0], C({0, 1}, 0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// SPARE
+// ---------------------------------------------------------------------------
+
+TEST(SpareTest, FindsSimpleConvoy) {
+  auto store = MakeMemStore(MakeTracks(
+      {{0, 0, 0, 0}, {0.5, 0.5, 0.5, 0.5}, {70, 71, 72, 73}}));
+  SpareStats stats;
+  auto out = MineSpare(store.get(), {2, 3, 1.0}, {}, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0], C({0, 1}, 0, 3));
+  EXPECT_GT(stats.stars, 0u);
+  EXPECT_EQ(stats.edges, 1u);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(SpareTest, EdgePruneDropsShortCoTravel) {
+  // Objects co-cluster for only 2 consecutive ticks; k = 3 => no edge, no
+  // convoys, and the enumeration never runs.
+  auto store = MakeMemStore(
+      MakeTracks({{0, 0, 40, 40, 40}, {0.5, 0.5, 80, 80, 80}}));
+  SpareStats stats;
+  auto out = MineSpare(store.get(), {2, 3, 1.0}, {}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+  EXPECT_EQ(stats.edges, 0u);
+}
+
+TEST(SpareTest, WorkerCountDoesNotChangeResults) {
+  RandomWalkSpec spec;
+  spec.num_objects = 10;
+  spec.num_ticks = 20;
+  spec.area = 40.0;
+  spec.seed = 23;
+  const Dataset ds = GenerateRandomWalk(spec);
+  auto store = MakeMemStore(ds);
+  const MiningParams params{2, 4, 8.0};
+  SpareOptions one;
+  one.num_workers = 1;
+  SpareOptions four;
+  four.num_workers = 4;
+  auto a = MineSpare(store.get(), params, one);
+  auto b = MineSpare(store.get(), params, four);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_SAME_CONVOYS(a.value(), b.value());
+}
+
+TEST(SpareTest, BudgetExhaustionIsFlaggedNotFatal) {
+  // A clique of 12 objects together for a long time: the enumeration space
+  // is 2^12; a budget of 100 nodes must trip the safety valve.
+  std::vector<std::vector<double>> tracks;
+  for (int i = 0; i < 12; ++i) {
+    tracks.push_back(std::vector<double>(10, i * 0.5));
+  }
+  auto store = MakeMemStore(MakeTracks(tracks));
+  SpareOptions options;
+  options.enumeration_budget = 100;
+  SpareStats stats;
+  auto out = MineSpare(store.get(), {2, 5, 1.0}, options, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(stats.budget_exhausted);
+}
+
+TEST(SpareTest, PhaseTimersPopulated) {
+  auto store = MakeMemStore(MakeTracks({{0, 0, 0}, {0.5, 0.5, 0.5}}));
+  SpareStats stats;
+  ASSERT_TRUE(MineSpare(store.get(), {2, 2, 1.0}, {}, &stats).ok());
+  EXPECT_GE(stats.phases.Get("clustering"), 0.0);
+  EXPECT_GE(stats.phases.Get("enumeration"), 0.0);
+  EXPECT_EQ(stats.phases.phases().size(), 3u);
+}
+
+}  // namespace
+}  // namespace k2

@@ -1,0 +1,159 @@
+// Parameterized conformance tests: every storage engine must behave exactly
+// like the in-memory oracle for scans and point reads, and must account IO.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "storage/store.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::MakeDataset;
+using ::k2::testing::ScratchDir;
+
+class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  std::unique_ptr<Store> Make(const std::string& tag) {
+    auto result = CreateStore(
+        GetParam(), ScratchDir(std::string("store_") + tag + "_" +
+                               StoreKindName(GetParam())));
+    K2_CHECK(result.ok());
+    return result.MoveValue();
+  }
+};
+
+TEST_P(StoreConformanceTest, NameMatchesKind) {
+  auto store = Make("name");
+  EXPECT_EQ(store->name(), StoreKindName(GetParam()));
+}
+
+TEST_P(StoreConformanceTest, EmptyStoreBehaviour) {
+  auto store = Make("empty");
+  ASSERT_TRUE(store->BulkLoad(DatasetBuilder().Build()).ok());
+  EXPECT_EQ(store->num_points(), 0u);
+  EXPECT_TRUE(store->time_range().empty());
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(store->GetPoints(0, ObjectSet::Of({1, 2}), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(StoreConformanceTest, ScanReturnsSnapshotInOidOrder) {
+  auto store = Make("scan");
+  const Dataset ds =
+      MakeDataset({{0, 3, 3, 0}, {0, 1, 1, 0}, {1, 2, 2, 0}, {3, 1, 9, 9}});
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(0, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].oid, 1u);
+  EXPECT_EQ(out[1].oid, 3u);
+  EXPECT_DOUBLE_EQ(out[1].x, 3.0);
+  // Missing tick scans come back empty but OK.
+  ASSERT_TRUE(store->ScanTimestamp(2, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(StoreConformanceTest, GetPointsSkipsAbsentObjects) {
+  auto store = Make("get");
+  const Dataset ds = MakeDataset({{0, 1, 1, 0}, {0, 5, 5, 0}, {1, 5, 6, 0}});
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->GetPoints(0, ObjectSet::Of({1, 2, 5, 9}), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].oid, 1u);
+  EXPECT_EQ(out[1].oid, 5u);
+  EXPECT_DOUBLE_EQ(out[1].x, 5.0);
+}
+
+TEST_P(StoreConformanceTest, MatchesMemoryOracleOnRandomData) {
+  RandomWalkSpec spec;
+  spec.num_objects = 25;
+  spec.num_ticks = 40;
+  spec.seed = 77;
+  const Dataset ds = GenerateRandomWalk(spec);
+  auto store = Make("oracle");
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+  auto oracle = ::k2::testing::MakeMemStore(ds);
+
+  EXPECT_EQ(store->num_points(), oracle->num_points());
+  EXPECT_EQ(store->time_range(), oracle->time_range());
+  EXPECT_EQ(store->timestamps(), oracle->timestamps());
+
+  std::vector<SnapshotPoint> got, want;
+  for (Timestamp t = -1; t <= 41; ++t) {
+    ASSERT_TRUE(store->ScanTimestamp(t, &got).ok());
+    ASSERT_TRUE(oracle->ScanTimestamp(t, &want).ok());
+    ASSERT_EQ(got.size(), want.size()) << "tick " << t;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].oid, want[i].oid);
+      EXPECT_DOUBLE_EQ(got[i].x, want[i].x);
+      EXPECT_DOUBLE_EQ(got[i].y, want[i].y);
+    }
+    const ObjectSet probe = ObjectSet::Of({0, 3, 7, 11, 24, 99});
+    ASSERT_TRUE(store->GetPoints(t, probe, &got).ok());
+    ASSERT_TRUE(oracle->GetPoints(t, probe, &want).ok());
+    ASSERT_EQ(got.size(), want.size()) << "tick " << t;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].oid, want[i].oid);
+      EXPECT_DOUBLE_EQ(got[i].x, want[i].x);
+    }
+  }
+}
+
+TEST_P(StoreConformanceTest, IoStatsAdvanceOnQueries) {
+  auto store = Make("stats");
+  const Dataset ds = MakeDataset({{0, 1, 1, 0}, {0, 2, 2, 0}});
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+  store->io_stats().Clear();
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(0, &out).ok());
+  EXPECT_EQ(store->io_stats().snapshot_scans, 1u);
+  EXPECT_EQ(store->io_stats().scanned_points, 2u);
+  ASSERT_TRUE(store->GetPoints(0, ObjectSet::Of({1}), &out).ok());
+  EXPECT_EQ(store->io_stats().point_queries, 1u);
+  EXPECT_EQ(store->io_stats().point_hits, 1u);
+}
+
+TEST_P(StoreConformanceTest, BulkLoadReplacesContent) {
+  auto store = Make("reload");
+  ASSERT_TRUE(store->BulkLoad(MakeDataset({{0, 1, 1, 1}})).ok());
+  ASSERT_TRUE(store->BulkLoad(MakeDataset({{5, 9, 2, 2}})).ok());
+  EXPECT_EQ(store->num_points(), 1u);
+  EXPECT_EQ(store->time_range(), (TimeRange{5, 5}));
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(store->ScanTimestamp(5, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].oid, 9u);
+}
+
+TEST_P(StoreConformanceTest, NegativeTimestamps) {
+  auto store = Make("negative");
+  const Dataset ds = MakeDataset({{-10, 1, 1, 0}, {-9, 1, 2, 0}, {0, 1, 3, 0}});
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+  EXPECT_EQ(store->time_range(), (TimeRange{-10, 0}));
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(-9, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 2.0);
+  ASSERT_TRUE(store->GetPoints(-10, ObjectSet::Of({1}), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, StoreConformanceTest,
+                         ::testing::Values(StoreKind::kMemory, StoreKind::kFile,
+                                           StoreKind::kBPlusTree,
+                                           StoreKind::kLsm),
+                         [](const ::testing::TestParamInfo<StoreKind>& info) {
+                           return StoreKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace k2

@@ -1,0 +1,151 @@
+// Unit tests for the candidate sweep on hand-built cluster sequences.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sweep.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::C;
+
+/// Fixed cluster script: tick -> cluster list.
+ClustersAtFn Script(std::map<Timestamp, std::vector<ObjectSet>> script) {
+  return [script = std::move(script)](Timestamp t,
+                                      std::vector<ObjectSet>* out) -> Status {
+    auto it = script.find(t);
+    *out = it == script.end() ? std::vector<ObjectSet>{} : it->second;
+    return Status::OK();
+  };
+}
+
+std::vector<Convoy> RunSweep(std::map<Timestamp, std::vector<ObjectSet>> script,
+                        TimeRange range, int m, SweepOptions options) {
+  auto result = MaximalConvoySweep(Script(std::move(script)), range, m, options);
+  K2_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+TEST(SweepTest, SingleStableConvoy) {
+  const ObjectSet abc = ObjectSet::Of({1, 2, 3});
+  auto out = RunSweep({{0, {abc}}, {1, {abc}}, {2, {abc}}}, {0, 2}, 2,
+                 SweepOptions{.min_length = 2});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], C({1, 2, 3}, 0, 2));
+}
+
+TEST(SweepTest, GapTerminatesConvoy) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  auto out = RunSweep({{0, {ab}}, {1, {ab}}, {3, {ab}}, {4, {ab}}}, {0, 4}, 2,
+                 SweepOptions{.min_length = 2});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], C({1, 2}, 0, 1));
+  EXPECT_EQ(out[1], C({1, 2}, 3, 4));
+}
+
+TEST(SweepTest, ShrinkEmitsSuperset) {
+  // {1,2,3} together at 0-1, then only {1,2} continue.
+  const ObjectSet abc = ObjectSet::Of({1, 2, 3});
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  auto out = RunSweep({{0, {abc}}, {1, {abc}}, {2, {ab}}, {3, {ab}}}, {0, 3}, 2,
+                 SweepOptions{.min_length = 2});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], C({1, 2, 3}, 0, 1));
+  EXPECT_EQ(out[1], C({1, 2}, 0, 3));
+}
+
+TEST(SweepTest, ConvoyStartingInsideBiggerCluster) {
+  // The CMC-bug scenario: {4,5} ride inside {1,2,3,4,5} at tick 0-1, the
+  // big cluster dies but {4,5} continue; the corrected sweep must catch
+  // ({4,5},[0,3]).
+  const ObjectSet big = ObjectSet::Of({1, 2, 3, 4, 5});
+  const ObjectSet de = ObjectSet::Of({4, 5});
+  auto out = RunSweep({{0, {big}}, {1, {big}}, {2, {de}}, {3, {de}}}, {0, 3}, 2,
+                 SweepOptions{.min_length = 3});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], C({4, 5}, 0, 3));
+}
+
+TEST(SweepTest, SplitIntoTwoConvoys) {
+  const ObjectSet abcd = ObjectSet::Of({1, 2, 3, 4});
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  const ObjectSet cd = ObjectSet::Of({3, 4});
+  auto out = RunSweep({{0, {abcd}}, {1, {abcd}}, {2, {ab, cd}}, {3, {ab, cd}}},
+                 {0, 3}, 2, SweepOptions{.min_length = 2});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], C({1, 2, 3, 4}, 0, 1));
+  EXPECT_EQ(out[1], C({1, 2}, 0, 3));
+  EXPECT_EQ(out[2], C({3, 4}, 0, 3));
+}
+
+TEST(SweepTest, MergeOfTwoClusters) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  const ObjectSet cd = ObjectSet::Of({3, 4});
+  const ObjectSet abcd = ObjectSet::Of({1, 2, 3, 4});
+  auto out = RunSweep({{0, {ab, cd}}, {1, {abcd}}, {2, {abcd}}}, {0, 2}, 2,
+                 SweepOptions{.min_length = 2});
+  // ab and cd run the full span; abcd only [1,2].
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], C({1, 2}, 0, 2));
+  EXPECT_EQ(out[1], C({3, 4}, 0, 2));
+  EXPECT_EQ(out[2], C({1, 2, 3, 4}, 1, 2));
+}
+
+TEST(SweepTest, MinLengthFiltersShortLived) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  auto out =
+      RunSweep({{0, {ab}}, {1, {ab}}}, {0, 1}, 2, SweepOptions{.min_length = 3});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SweepTest, MinClusterSizeRespected) {
+  // Intersections below m die: {1,2,3} ∩ {1,2} has size 2 < m=3.
+  const ObjectSet abc = ObjectSet::Of({1, 2, 3});
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  auto out = RunSweep({{0, {abc}}, {1, {ab}}, {2, {ab}}}, {0, 2}, 3,
+                 SweepOptions{.min_length = 1});
+  // Only the singleton-tick convoy {1,2,3}@0 survives with min_length 1.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], C({1, 2, 3}, 0, 0));
+}
+
+TEST(SweepTest, BorderKeepLeft) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  SweepOptions options;
+  options.min_length = 10;  // nothing passes the length filter
+  options.keep_left_border = true;
+  auto out = RunSweep({{5, {ab}}, {6, {ab}}}, {5, 8}, 2, options);
+  // Piece starts at the left border => kept despite being short.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], C({1, 2}, 5, 6));
+}
+
+TEST(SweepTest, BorderKeepRight) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  SweepOptions options;
+  options.min_length = 10;
+  options.keep_right_border = true;
+  auto out = RunSweep({{7, {ab}}, {8, {ab}}}, {5, 8}, 2, options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], C({1, 2}, 7, 8));
+}
+
+TEST(SweepTest, EmptyRangeYieldsNothing) {
+  auto out = RunSweep({}, {0, -1}, 2, SweepOptions{.min_length = 1});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SweepTest, ReformingConvoyGetsBothRuns) {
+  const ObjectSet ab = ObjectSet::Of({1, 2});
+  const ObjectSet cd = ObjectSet::Of({3, 4});
+  auto out = RunSweep({{0, {ab}}, {1, {ab}}, {2, {cd}}, {3, {ab}}, {4, {ab}}},
+                 {0, 4}, 2, SweepOptions{.min_length = 2});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], C({1, 2}, 0, 1));
+  EXPECT_EQ(out[1], C({1, 2}, 3, 4));
+}
+
+}  // namespace
+}  // namespace k2

@@ -1,0 +1,103 @@
+// Douglas-Peucker and polyline-distance tests (CuTS substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/trajectory.h"
+
+namespace k2 {
+namespace {
+
+std::vector<TrajPoint> Line(std::initializer_list<std::pair<double, double>> pts) {
+  std::vector<TrajPoint> out;
+  Timestamp t = 0;
+  for (const auto& [x, y] : pts) out.push_back(TrajPoint{t++, x, y});
+  return out;
+}
+
+TEST(PointSegmentDistanceTest, BasicCases) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(0, 1, -1, 0, 1, 0), 1.0);
+  // Foot beyond an endpoint: distance to the nearest endpoint (0, 1).
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(3, 4, 0, 0, 0, 1), std::sqrt(18.0));
+  // Degenerate segment = point distance.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(3, 4, 0, 0, 0, 0), 5.0);
+  // On the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(0.5, 0, 0, 0, 1, 0), 0.0);
+}
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  const auto simplified =
+      DouglasPeucker(Line({{0, 0}, {1, 0.001}, {2, -0.001}, {3, 0}, {4, 0}}), 0.1);
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified.front().t, 0);
+  EXPECT_EQ(simplified.back().t, 4);
+}
+
+TEST(DouglasPeuckerTest, CornerIsKept) {
+  const auto simplified =
+      DouglasPeucker(Line({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}), 0.1);
+  ASSERT_EQ(simplified.size(), 3u);
+  EXPECT_DOUBLE_EQ(simplified[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(simplified[1].y, 0.0);
+}
+
+TEST(DouglasPeuckerTest, ErrorBoundHolds) {
+  // Every dropped point must lie within epsilon of the simplified polyline.
+  std::vector<TrajPoint> zigzag;
+  for (int i = 0; i < 50; ++i) {
+    zigzag.push_back(TrajPoint{i, i * 1.0, (i % 5) * 0.8});
+  }
+  const double epsilon = 1.0;
+  const auto simplified = DouglasPeucker(zigzag, epsilon);
+  for (const TrajPoint& p : zigzag) {
+    double best = 1e18;
+    for (size_t s = 0; s + 1 < simplified.size(); ++s) {
+      best = std::min(best, PointSegmentDistance(p.x, p.y, simplified[s].x,
+                                                 simplified[s].y,
+                                                 simplified[s + 1].x,
+                                                 simplified[s + 1].y));
+    }
+    EXPECT_LE(best, epsilon + 1e-9);
+  }
+}
+
+TEST(DouglasPeuckerTest, TinyInputsPassThrough) {
+  EXPECT_TRUE(DouglasPeucker({}, 1.0).empty());
+  EXPECT_EQ(DouglasPeucker(Line({{1, 2}}), 1.0).size(), 1u);
+  EXPECT_EQ(DouglasPeucker(Line({{1, 2}, {3, 4}}), 1.0).size(), 2u);
+}
+
+TEST(PolylineDistanceTest, IntersectingPolylinesHaveZeroDistance) {
+  const auto a = Line({{0, 0}, {2, 2}});
+  const auto b = Line({{0, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, b), 0.0);
+}
+
+TEST(PolylineDistanceTest, ParallelSegments) {
+  const auto a = Line({{0, 0}, {10, 0}});
+  const auto b = Line({{0, 3}, {10, 3}});
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, b), 3.0);
+}
+
+TEST(PolylineDistanceTest, PointVersusSegment) {
+  const auto a = Line({{5, 5}});
+  const auto b = Line({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(PolylineDistance(b, a), 5.0);
+}
+
+TEST(PolylineDistanceTest, EmptyPolylineIsInfinitelyFar) {
+  const auto a = Line({{0, 0}});
+  EXPECT_TRUE(std::isinf(PolylineDistance(a, {})));
+}
+
+TEST(PolylineDistanceTest, SymmetricAndNonNegative) {
+  const auto a = Line({{0, 0}, {4, 1}, {8, 0}});
+  const auto b = Line({{1, 5}, {6, 3}});
+  EXPECT_DOUBLE_EQ(PolylineDistance(a, b), PolylineDistance(b, a));
+  EXPECT_GE(PolylineDistance(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace k2
