@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI sequence: configure + build everything + smoke-tier ctest.
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs clang-format over every C++ file. Pass --check to fail on diffs
+# (CI-friendly) instead of rewriting in place.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="-i"
+if [[ "${1:-}" == "--check" ]]; then
+  MODE="--dry-run -Werror"
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 clang-format $MODE
