@@ -6,7 +6,8 @@
 using namespace k2;
 using namespace k2::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseArgs(argc, argv);
   PrintBanner("Fig 8i: k2-LSMT phase breakdown (seconds)");
   const Dataset& data = Trucks();
   std::cout << data.DebugString() << "\n\n";

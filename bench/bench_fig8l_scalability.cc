@@ -25,7 +25,8 @@ void Measure(const Dataset& data, const std::string& tag,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseArgs(argc, argv);
   PrintBanner("Fig 8l: data size scalability (Brinkhoff pair)");
   TablePrinter table({"points", "VCoDA*", "k2-RDBMS", "k2-LSMT"});
   Measure(BrinkhoffSmall(), "fig8l_small", &table);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <numeric>
@@ -21,6 +22,57 @@ namespace k2::bench {
 namespace {
 
 const char* kCacheDir = "/tmp/k2hop_bench";
+
+/// --json sink: collects one JSON object per timed mining run and writes
+/// them as an array when the process exits.
+struct JsonSink {
+  std::string path;
+  std::string bench;  // argv[0] basename
+  std::vector<std::string> records;
+
+  ~JsonSink() {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << "[\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+      out << "  " << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
+};
+
+JsonSink& Sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+std::string JsonNumber(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Appends one mining-run record to the sink (no-op without --json).
+void RecordRun(const std::string& miner, const Store& store,
+               const MiningParams& params, double seconds, size_t convoys,
+               const IoStats& io) {
+  JsonSink& sink = Sink();
+  if (sink.path.empty()) return;
+  std::ostringstream os;
+  os << "{\"bench\":\"" << sink.bench << "\",\"miner\":\"" << miner
+     << "\",\"store\":\"" << store.name() << "\",\"params\":{\"m\":"
+     << params.m << ",\"k\":" << params.k
+     << ",\"eps\":" << JsonNumber(params.eps) << "},\"wall_ms\":"
+     << JsonNumber(seconds * 1e3) << ",\"convoys\":" << convoys
+     << ",\"io_stats\":{\"points_read\":" << io.points_read()
+     << ",\"point_queries\":" << io.point_queries
+     << ",\"scanned_points\":" << io.scanned_points
+     << ",\"bytes_read\":" << io.bytes_read << ",\"seeks\":" << io.seeks
+     << ",\"pages_read\":" << io.pages_read
+     << ",\"pages_cached\":" << io.pages_cached
+     << ",\"bloom_negative\":" << io.bloom_negative << "}}";
+  sink.records.push_back(os.str());
+}
 
 double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
@@ -48,6 +100,26 @@ std::string ScaleTag() {
 }
 
 }  // namespace
+
+void ParseArgs(int argc, char** argv) {
+  if (argc > 0) {
+    Sink().bench = std::filesystem::path(argv[0]).filename().string();
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path argument\n";
+        std::exit(2);
+      }
+      Sink().path = argv[++i];
+    } else {
+      std::cerr << "unknown bench flag: " << arg
+                << " (supported: --json <path>)\n";
+      std::exit(2);
+    }
+  }
+}
 
 double ScaleFactor() {
   static const double scale = std::max(0.05, EnvDouble("K2_BENCH_SCALE", 1.0));
@@ -136,22 +208,28 @@ std::unique_ptr<Store> BuildStore(StoreKind kind, const Dataset& data,
 MineOutcome RunK2(Store* store, const MiningParams& params, K2HopStats* stats,
                   const K2HopOptions& options) {
   MineOutcome outcome;
+  K2HopStats local;
+  K2HopStats* s = stats != nullptr ? stats : &local;
   Stopwatch sw;
-  auto result = MineK2Hop(store, params, options, stats);
+  auto result = MineK2Hop(store, params, options, s);
   outcome.seconds = sw.ElapsedSeconds();
   K2_CHECK(result.ok());
   outcome.convoys = result.value().size();
+  RecordRun("k2hop", *store, params, outcome.seconds, outcome.convoys, s->io);
   return outcome;
 }
 
 MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
                      VcodaStats* stats) {
   MineOutcome outcome;
+  const IoStats before = store->io_stats();
   Stopwatch sw;
   auto result = MineVcoda(store, params, corrected, stats);
   outcome.seconds = sw.ElapsedSeconds();
   K2_CHECK(result.ok());
   outcome.convoys = result.value().size();
+  RecordRun(corrected ? "vcoda*" : "vcoda", *store, params, outcome.seconds,
+            outcome.convoys, IoStats::Delta(store->io_stats(), before));
   return outcome;
 }
 
@@ -160,6 +238,7 @@ MineOutcome RunSpare(Store* store, const MiningParams& params, int workers) {
   SpareOptions options;
   options.num_workers = workers;
   SpareStats stats;
+  const IoStats before = store->io_stats();
   Stopwatch sw;
   auto result = MineSpare(store, params, options, &stats);
   outcome.seconds = sw.ElapsedSeconds();
@@ -169,6 +248,8 @@ MineOutcome RunSpare(Store* store, const MiningParams& params, int workers) {
     outcome.dnf = true;
     outcome.note = "enum-budget";
   }
+  RecordRun("spare", *store, params, outcome.seconds, outcome.convoys,
+            IoStats::Delta(store->io_stats(), before));
   return outcome;
 }
 
@@ -178,11 +259,14 @@ MineOutcome RunDcm(Store* store, const MiningParams& params, int partitions,
   DcmOptions options;
   options.num_partitions = partitions;
   options.num_workers = workers;
+  const IoStats before = store->io_stats();
   Stopwatch sw;
   auto result = MineDcm(store, params, options);
   outcome.seconds = sw.ElapsedSeconds();
   K2_CHECK(result.ok());
   outcome.convoys = result.value().size();
+  RecordRun("dcm", *store, params, outcome.seconds, outcome.convoys,
+            IoStats::Delta(store->io_stats(), before));
   return outcome;
 }
 

@@ -21,6 +21,13 @@
 
 namespace k2::bench {
 
+/// Parses the shared bench CLI flags; call first in main(). Supported:
+///   --json <path>   write every timed mining run as a JSON record
+///                   ({bench, miner, store, params, wall_ms, convoys,
+///                   io_stats}) to <path> (a JSON array) at process exit.
+/// The bench name in the records is argv[0]'s basename.
+void ParseArgs(int argc, char** argv);
+
 /// Global size multiplier from K2_BENCH_SCALE (default 1.0).
 double ScaleFactor();
 

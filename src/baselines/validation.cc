@@ -45,8 +45,13 @@ uint64_t ConvoyKey(const Convoy& v) {
 class RestrictionProber {
  public:
   RestrictionProber(Store* store, const Convoy& candidate,
-                    const MiningParams& params, ValidationStats* stats)
-      : store_(store), candidate_(candidate), params_(params), stats_(stats) {}
+                    const MiningParams& params, ValidationStats* stats,
+                    SnapshotScratch* scratch)
+      : store_(store),
+        candidate_(candidate),
+        params_(params),
+        stats_(stats),
+        scratch_(scratch) {}
 
   /// True when DB[t]|O clusters to exactly {O} for every t (FC property).
   Result<bool> IsFullyConnected() {
@@ -75,8 +80,9 @@ class RestrictionProber {
   Result<const std::vector<ObjectSet>*> ClustersAt(Timestamp t) {
     auto it = cache_.find(t);
     if (it == cache_.end()) {
-      K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> cs,
-                          ReCluster(store_, t, candidate_.objects, params_));
+      K2_ASSIGN_OR_RETURN(
+          std::vector<ObjectSet> cs,
+          ReCluster(store_, t, candidate_.objects, params_, scratch_));
       if (stats_ != nullptr) ++stats_->reclusterings;
       it = cache_.emplace(t, std::move(cs)).first;
     }
@@ -87,6 +93,7 @@ class RestrictionProber {
   const Convoy& candidate_;
   const MiningParams& params_;
   ValidationStats* stats_;
+  SnapshotScratch* scratch_;
   std::unordered_map<Timestamp, std::vector<ObjectSet>> cache_;
 };
 
@@ -97,6 +104,7 @@ Result<std::vector<Convoy>> ValidateFullyConnected(
     bool recursive, ValidationStats* stats) {
   if (stats != nullptr) stats->candidates_in = candidates.size();
   MaximalConvoySet accepted;
+  SnapshotScratch scratch;
   std::deque<Convoy> work(candidates.begin(), candidates.end());
   std::unordered_set<uint64_t> seen;
 
@@ -109,7 +117,7 @@ Result<std::vector<Convoy>> ValidateFullyConnected(
     }
     if (!seen.insert(ConvoyKey(v)).second) continue;
 
-    RestrictionProber prober(store, v, params, stats);
+    RestrictionProber prober(store, v, params, stats, &scratch);
     K2_ASSIGN_OR_RETURN(bool is_fc, prober.IsFullyConnected());
     if (is_fc) {
       if (stats != nullptr) ++stats->fc_accepted;

@@ -1,9 +1,6 @@
 #include "cluster/dbscan.h"
 
 #include <algorithm>
-#include <optional>
-
-#include "cluster/grid_index.h"
 
 namespace k2 {
 
@@ -11,7 +8,8 @@ namespace {
 
 // Region query used below: grid-indexed for large snapshots, brute force
 // for the tiny re-clusterings that dominate HWMT / extension / validation
-// (building a hash grid for 3-10 points costs more than scanning them).
+// (rebuilding even a flat grid for 3-10 points costs more than scanning
+// them).
 constexpr size_t kBruteForceThreshold = 32;
 
 void BruteForceNeighbors(std::span<const SnapshotPoint> points, size_t i,
@@ -25,70 +23,77 @@ void BruteForceNeighbors(std::span<const SnapshotPoint> points, size_t i,
   }
 }
 
-// Shared worker: labels every point, returns labels + cluster count.
-DbscanLabels RunDbscan(std::span<const SnapshotPoint> points, double eps,
-                       int min_pts) {
-  DbscanLabels out;
-  const size_t n = points.size();
-  out.label.assign(n, -1);
-  if (n == 0 || min_pts <= 0) return out;
+DbscanScratch* ThreadLocalScratch() {
+  static thread_local DbscanScratch scratch;
+  return &scratch;
+}
 
-  std::optional<GridIndex> index;
-  if (n > kBruteForceThreshold) index.emplace(points, eps);
+// Shared worker: labels every point into scratch->labels (reused storage).
+void RunDbscan(std::span<const SnapshotPoint> points, double eps, int min_pts,
+               DbscanScratch* scratch, DbscanLabels* out) {
+  const size_t n = points.size();
+  out->label.assign(n, -1);
+  out->num_clusters = 0;
+  if (n == 0 || min_pts <= 0) return;
+
+  const bool use_grid = n > kBruteForceThreshold;
+  if (use_grid) scratch->grid.Build(points, eps);
   auto region_query = [&](size_t i, std::vector<uint32_t>* nbrs) {
     nbrs->clear();
-    if (index.has_value()) {
-      index->Neighbors(i, eps, nbrs);
+    if (use_grid) {
+      scratch->grid.Neighbors(i, eps, nbrs);
     } else {
       BruteForceNeighbors(points, i, eps, nbrs);
     }
   };
 
-  std::vector<bool> visited(n, false);
-  std::vector<uint32_t> neighbors;
-  std::vector<uint32_t> seeds;
+  scratch->visited.assign(n, 0);
+  std::vector<uint32_t>& neighbors = scratch->neighbors;
+  std::vector<uint32_t>& seeds = scratch->seeds;
 
   for (size_t i = 0; i < n; ++i) {
-    if (visited[i]) continue;
-    visited[i] = true;
+    if (scratch->visited[i]) continue;
+    scratch->visited[i] = 1;
     region_query(i, &neighbors);
     if (neighbors.size() < static_cast<size_t>(min_pts)) continue;  // noise or border
 
-    const int32_t cluster = out.num_clusters++;
-    out.label[i] = cluster;
+    const int32_t cluster = out->num_clusters++;
+    out->label[i] = cluster;
     seeds.assign(neighbors.begin(), neighbors.end());
     // Classic ExpandCluster: the seed list grows while new core points are
     // discovered; border points get the cluster of the first core reaching
     // them.
     for (size_t s = 0; s < seeds.size(); ++s) {
       const uint32_t j = seeds[s];
-      if (!visited[j]) {
-        visited[j] = true;
+      if (!scratch->visited[j]) {
+        scratch->visited[j] = 1;
         region_query(j, &neighbors);
         if (neighbors.size() >= static_cast<size_t>(min_pts)) {
           seeds.insert(seeds.end(), neighbors.begin(), neighbors.end());
         }
       }
-      if (out.label[j] < 0) out.label[j] = cluster;
+      if (out->label[j] < 0) out->label[j] = cluster;
     }
   }
-  return out;
 }
 
 std::vector<ObjectSet> LabelsToClusters(std::span<const SnapshotPoint> points,
                                         const DbscanLabels& labels,
-                                        int min_pts) {
-  std::vector<std::vector<ObjectId>> members(labels.num_clusters);
+                                        int min_pts, DbscanScratch* scratch) {
+  const size_t k = static_cast<size_t>(labels.num_clusters);
+  std::vector<std::vector<ObjectId>>& members = scratch->members;
+  if (members.size() < k) members.resize(k);
+  for (size_t c = 0; c < k; ++c) members[c].clear();
   for (size_t i = 0; i < points.size(); ++i) {
     if (labels.label[i] >= 0) {
       members[labels.label[i]].push_back(points[i].oid);
     }
   }
   std::vector<ObjectSet> clusters;
-  clusters.reserve(members.size());
-  for (auto& ids : members) {
-    if (ids.size() < static_cast<size_t>(min_pts)) continue;
-    clusters.emplace_back(std::move(ids));
+  clusters.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (members[c].size() < static_cast<size_t>(min_pts)) continue;
+    clusters.emplace_back(members[c]);
   }
   std::sort(clusters.begin(), clusters.end());
   return clusters;
@@ -97,25 +102,44 @@ std::vector<ObjectSet> LabelsToClusters(std::span<const SnapshotPoint> points,
 }  // namespace
 
 std::vector<ObjectSet> Dbscan(std::span<const SnapshotPoint> points,
+                              double eps, int min_pts,
+                              DbscanScratch* scratch) {
+  RunDbscan(points, eps, min_pts, scratch, &scratch->labels);
+  return LabelsToClusters(points, scratch->labels, min_pts, scratch);
+}
+
+std::vector<ObjectSet> Dbscan(std::span<const SnapshotPoint> points,
                               double eps, int min_pts) {
-  DbscanLabels labels = RunDbscan(points, eps, min_pts);
-  return LabelsToClusters(points, labels, min_pts);
+  return Dbscan(points, eps, min_pts, ThreadLocalScratch());
+}
+
+std::vector<ObjectSet> DbscanSubset(std::span<const SnapshotPoint> points,
+                                    const ObjectSet& subset, double eps,
+                                    int min_pts, DbscanScratch* scratch) {
+  std::vector<SnapshotPoint>& filtered = scratch->filtered;
+  filtered.clear();
+  for (const SnapshotPoint& p : points) {
+    if (subset.Contains(p.oid)) filtered.push_back(p);
+  }
+  return Dbscan(filtered, eps, min_pts, scratch);
 }
 
 std::vector<ObjectSet> DbscanSubset(std::span<const SnapshotPoint> points,
                                     const ObjectSet& subset, double eps,
                                     int min_pts) {
-  std::vector<SnapshotPoint> filtered;
-  filtered.reserve(subset.size());
-  for (const SnapshotPoint& p : points) {
-    if (subset.Contains(p.oid)) filtered.push_back(p);
-  }
-  return Dbscan(filtered, eps, min_pts);
+  return DbscanSubset(points, subset, eps, min_pts, ThreadLocalScratch());
+}
+
+void DbscanLabelled(std::span<const SnapshotPoint> points, double eps,
+                    int min_pts, DbscanScratch* scratch, DbscanLabels* out) {
+  RunDbscan(points, eps, min_pts, scratch, out);
 }
 
 DbscanLabels DbscanLabelled(std::span<const SnapshotPoint> points, double eps,
                             int min_pts) {
-  return RunDbscan(points, eps, min_pts);
+  DbscanLabels out;
+  RunDbscan(points, eps, min_pts, ThreadLocalScratch(), &out);
+  return out;
 }
 
 }  // namespace k2

@@ -2,13 +2,19 @@
 // eps-neighbourhood of a point is contained in the 3x3 block of cells around
 // it, so DBSCAN's region queries run in expected O(1) per point instead of
 // the O(n) scan that the paper identifies as the bottleneck of the baselines.
+//
+// Layout: flat sorted CSR over the snapshot's bounding box. Points are
+// counting-sorted into cells (`cell_starts_` / `point_ids_`), cells are
+// row-major with x as the minor dimension, and coordinates are kept as
+// structure-of-arrays (`xs_` / `ys_`) in CSR order. A region query scans
+// three contiguous row segments — no hashing, no per-cell vectors, and the
+// inner distance loop vectorizes.
 #ifndef K2_CLUSTER_GRID_INDEX_H_
 #define K2_CLUSTER_GRID_INDEX_H_
 
 #include <cmath>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -17,36 +23,64 @@ namespace k2 {
 
 class GridIndex {
  public:
-  /// Indexes `points` with square cells of side `cell_size` (> 0). The span
-  /// must stay alive for the lifetime of the index.
-  GridIndex(std::span<const SnapshotPoint> points, double cell_size);
+  /// An empty index; call Build() before querying.
+  GridIndex() = default;
+
+  /// Indexes `points` with square cells of side >= `cell_size` (> 0).
+  GridIndex(std::span<const SnapshotPoint> points, double cell_size) {
+    Build(points, cell_size);
+  }
+
+  /// (Re)indexes `points`, reusing previously allocated buffers — rebuilding
+  /// the same GridIndex across snapshots is allocation-free in steady state.
+  /// The effective cell size is grown above `cell_size` when the bounding
+  /// box would otherwise shatter into more than ~4x|points| cells, which
+  /// keeps memory linear for any eps; queries stay correct for any
+  /// `eps` <= the requested `cell_size`.
+  void Build(std::span<const SnapshotPoint> points, double cell_size);
 
   /// Appends to `out` the indices of all points within `eps` of point `i`
   /// (including `i` itself), matching NH(p, eps) of paper Sec. 3.1.
-  /// `eps` must be <= the cell size used at construction.
-  void Neighbors(size_t i, double eps, std::vector<uint32_t>* out) const;
+  /// `eps` must be <= the cell size requested at Build().
+  void Neighbors(size_t i, double eps, std::vector<uint32_t>* out) const {
+    NeighborsOf(px_[i], py_[i], eps, out);
+  }
 
   /// Same query for an arbitrary location.
   void NeighborsOf(double x, double y, double eps,
                    std::vector<uint32_t>* out) const;
 
-  size_t num_points() const { return points_.size(); }
-  size_t num_cells() const { return cells_.size(); }
+  size_t num_points() const { return px_.size(); }
+  /// Number of non-empty cells.
+  size_t num_cells() const { return num_occupied_cells_; }
 
  private:
-  /// Packs a signed cell coordinate pair into one 64-bit map key.
-  static uint64_t PackKey(int64_t cx, int64_t cy) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
-           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  int64_t CellX(double x) const {
+    return static_cast<int64_t>(std::floor((x - min_x_) * inv_cell_));
+  }
+  int64_t CellY(double y) const {
+    return static_cast<int64_t>(std::floor((y - min_y_) * inv_cell_));
   }
 
-  int64_t CellCoord(double v) const {
-    return static_cast<int64_t>(std::floor(v / cell_size_));
-  }
+  // Grid geometry. inv_cell_ = 1 / effective cell size.
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double inv_cell_ = 0.0;
+  int64_t nx_ = 0, ny_ = 0;
+  size_t num_occupied_cells_ = 0;
 
-  std::span<const SnapshotPoint> points_;
-  double cell_size_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+  // CSR: points of cell c occupy [cell_starts_[c], cell_starts_[c + 1]) of
+  // point_ids_ / xs_ / ys_. point_ids_ holds the original point indices;
+  // xs_ / ys_ their coordinates, so the distance scan never touches the
+  // input array.
+  std::vector<uint32_t> cell_starts_;  // nx_ * ny_ + 1 entries
+  std::vector<uint32_t> point_ids_;
+  std::vector<double> xs_, ys_;
+
+  // Input coordinates in original order, for Neighbors(i, ...).
+  std::vector<double> px_, py_;
+
+  // Build-time scratch, kept to make rebuilds allocation-free.
+  std::vector<uint32_t> cell_of_;
 };
 
 }  // namespace k2

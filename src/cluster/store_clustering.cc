@@ -1,22 +1,56 @@
 #include "cluster/store_clustering.h"
 
-#include "cluster/dbscan.h"
-
 namespace k2 {
+
+namespace {
+
+Status LockedScan(Store* store, Timestamp t, std::vector<SnapshotPoint>* out,
+                  std::mutex* store_mu) {
+  if (store_mu == nullptr) return store->ScanTimestamp(t, out);
+  std::lock_guard<std::mutex> lock(*store_mu);
+  return store->ScanTimestamp(t, out);
+}
+
+Status LockedGet(Store* store, Timestamp t, const ObjectSet& objects,
+                 std::vector<SnapshotPoint>* out, std::mutex* store_mu) {
+  if (store_mu == nullptr) return store->GetPoints(t, objects, out);
+  std::lock_guard<std::mutex> lock(*store_mu);
+  return store->GetPoints(t, objects, out);
+}
+
+SnapshotScratch* ThreadLocalSnapshotScratch() {
+  static thread_local SnapshotScratch scratch;
+  return &scratch;
+}
+
+}  // namespace
+
+Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
+                                               const MiningParams& params,
+                                               SnapshotScratch* scratch,
+                                               std::mutex* store_mu) {
+  K2_RETURN_NOT_OK(LockedScan(store, t, &scratch->points, store_mu));
+  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
+}
 
 Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
                                                const MiningParams& params) {
-  std::vector<SnapshotPoint> points;
-  K2_RETURN_NOT_OK(store->ScanTimestamp(t, &points));
-  return Dbscan(points, params.eps, params.m);
+  return ClusterSnapshot(store, t, params, ThreadLocalSnapshotScratch());
+}
+
+Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
+                                         const ObjectSet& objects,
+                                         const MiningParams& params,
+                                         SnapshotScratch* scratch,
+                                         std::mutex* store_mu) {
+  K2_RETURN_NOT_OK(LockedGet(store, t, objects, &scratch->points, store_mu));
+  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
 }
 
 Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
                                          const ObjectSet& objects,
                                          const MiningParams& params) {
-  std::vector<SnapshotPoint> points;
-  K2_RETURN_NOT_OK(store->GetPoints(t, objects, &points));
-  return Dbscan(points, params.eps, params.m);
+  return ReCluster(store, t, objects, params, ThreadLocalSnapshotScratch());
 }
 
 }  // namespace k2

@@ -4,8 +4,10 @@
 #ifndef K2_CLUSTER_STORE_CLUSTERING_H_
 #define K2_CLUSTER_STORE_CLUSTERING_H_
 
+#include <mutex>
 #include <vector>
 
+#include "cluster/dbscan.h"
 #include "common/object_set.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -13,15 +15,36 @@
 
 namespace k2 {
 
+/// Reusable per-thread state for store-backed clustering: the fetched-points
+/// buffer plus the DBSCAN scratch. One SnapshotScratch serves one thread.
+struct SnapshotScratch {
+  std::vector<SnapshotPoint> points;
+  DbscanScratch dbscan;
+};
+
 /// Scans the full snapshot at `t` and returns its (m,eps)-clusters.
+///
+/// The scratch overloads reuse `scratch` across calls (allocation-free in
+/// steady state). Store implementations are not thread-safe: when several
+/// threads share one store, pass the same `store_mu` to every call and only
+/// the fetch is serialized — clustering runs outside the lock.
 Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
                                                const MiningParams& params);
+Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
+                                               const MiningParams& params,
+                                               SnapshotScratch* scratch,
+                                               std::mutex* store_mu = nullptr);
 
 /// reCluster(DB[t]|O): fetches only the points of `objects` at `t` (random
 /// point reads) and clusters them. This is the pruned access path.
 Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
                                          const ObjectSet& objects,
                                          const MiningParams& params);
+Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
+                                         const ObjectSet& objects,
+                                         const MiningParams& params,
+                                         SnapshotScratch* scratch,
+                                         std::mutex* store_mu = nullptr);
 
 }  // namespace k2
 

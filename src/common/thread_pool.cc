@@ -1,0 +1,205 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace k2 {
+
+namespace {
+
+// Which worker of which pool the current thread is; null outside any pool.
+// Lets Submit route nested submissions to the submitting worker's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+// Whether the current thread is executing a ParallelFor body, and under
+// which slot. A nested ParallelFor runs inline under the enclosing slot, so
+// slot-keyed scratch state stays exclusive to one thread.
+thread_local bool tls_in_parallel_for = false;
+thread_local size_t tls_parallel_slot = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  size_t n = num_workers > 0
+                 ? static_cast<size_t>(num_workers)
+                 : std::max(1u, std::thread::hardware_concurrency());
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    // Same lost-wakeup guard as Submit: setting stop_ under wake_mu_ means
+    // a worker between its wait-predicate check and its sleep cannot miss
+    // the shutdown notification.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;  // nested submit: stay on the submitting worker
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  // queued_ goes up BEFORE the task becomes poppable, and a popping worker
+  // raises inflight_ before lowering queued_ — so queued_ + inflight_ never
+  // dips to zero while a task exists, which is what Wait() relies on.
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Empty critical section pairs with the wait predicate: a worker between
+    // its predicate check and its sleep cannot miss this notification.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopFrom(size_t queue_index, bool lifo,
+                         std::function<void()>* task) {
+  WorkerQueue& q = *queues_[queue_index];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  if (lifo) {
+    *task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+  } else {
+    *task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+  }
+  return true;
+}
+
+bool ThreadPool::TryRunOneTask(size_t self) {
+  std::function<void()> task;
+  // Own deque first (newest task: still cache-warm), then steal the oldest
+  // task from the other deques, scanning from a self-dependent start so
+  // thieves spread out.
+  bool found = PopFrom(self, /*lifo=*/true, &task);
+  for (size_t k = 1; !found && k < queues_.size(); ++k) {
+    found = PopFrom((self + k) % queues_.size(), /*lifo=*/false, &task);
+  }
+  if (!found) return false;
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  if (inflight_.fetch_sub(1, std::memory_order_release) == 1 &&
+      queued_.load(std::memory_order_acquire) == 0) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerMain(size_t index) {
+  tls_pool = this;
+  tls_worker = index;
+  while (true) {
+    if (TryRunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  // Calling from a worker would self-deadlock; workers never need Wait()
+  // because ParallelFor tracks its own completion.
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return queued_.load(std::memory_order_acquire) == 0 &&
+           inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  if (tls_pool == this || tls_in_parallel_for) {
+    // Nested ParallelFor (from a pool task, or from the calling thread's
+    // own loop body): run inline under the enclosing invocation's slot.
+    // Blocking a worker on helper tasks that might sit behind it in its
+    // own deque could deadlock, spawning helpers would alias the outer
+    // invocation's slots, and inline execution is always correct.
+    for (size_t i = 0; i < n; ++i) fn(tls_parallel_slot, i);
+    return;
+  }
+  auto state = std::make_shared<SharedState>();
+  state->n = n;
+
+  // `fn` is captured by reference: a leftover helper task that fires after
+  // ParallelFor returned claims an index >= n and exits without touching it.
+  auto run = [state, &fn](size_t slot) {
+    const bool prev_in = tls_in_parallel_for;
+    const size_t prev_slot = tls_parallel_slot;
+    tls_in_parallel_for = true;
+    tls_parallel_slot = slot;
+    while (true) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) break;
+      try {
+        fn(slot, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error == nullptr) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+    tls_in_parallel_for = prev_in;
+    tls_parallel_slot = prev_slot;
+  };
+
+  // Slot 0 is the calling thread; helpers get slots 1..num_workers(). Each
+  // helper claims indices from the shared counter until none remain, so a
+  // helper that starts late (or never runs because the loop is already done)
+  // exits immediately.
+  const size_t helpers = std::min(num_workers(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([run, h] { run(h + 1); });
+  }
+  run(0);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, [&fn](size_t, size_t i) { fn(i); });
+}
+
+}  // namespace k2

@@ -1,10 +1,12 @@
 #include "core/k2hop.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
-#include "cluster/store_clustering.h"
+#include "common/thread_pool.h"
 
 namespace k2 {
 
@@ -49,9 +51,12 @@ std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
 Result<std::vector<ObjectSet>> HwmtSpanning(
     Store* store, const MiningParams& params, Timestamp b_left,
     Timestamp b_right, const std::vector<ObjectSet>& candidates,
-    bool binary_order, bool verify_right_benchmark) {
+    bool binary_order, bool verify_right_benchmark, SnapshotScratch* scratch,
+    std::mutex* store_mu) {
   std::vector<ObjectSet> surviving = candidates;
   if (surviving.empty()) return surviving;
+  std::optional<SnapshotScratch> local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch.emplace();
 
   // Probe order over the window interior (the HWMT of Fig. 4, processed
   // level by level == BinarySubdivisionOrder minus the endpoints).
@@ -70,8 +75,9 @@ Result<std::vector<ObjectSet>> HwmtSpanning(
   for (Timestamp t : order) {
     std::vector<ObjectSet> next;
     for (const ObjectSet& candidate : surviving) {
-      K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
-                          ReCluster(store, t, candidate, params));
+      K2_ASSIGN_OR_RETURN(
+          std::vector<ObjectSet> clusters,
+          ReCluster(store, t, candidate, params, scratch, store_mu));
       for (ObjectSet& c : clusters) next.push_back(std::move(c));
     }
     if (next.empty()) return next;  // no spanning convoy in this window
@@ -140,6 +146,7 @@ Result<std::vector<Convoy>> ExtendDirected(Store* store,
                                            std::vector<Convoy> convoys,
                                            Timestamp limit, int dir) {
   MaximalConvoySet results;
+  SnapshotScratch scratch;
   for (Convoy& v : convoys) {
     // frontier: object set -> fixed boundary of the other side.
     struct Frontier {
@@ -158,7 +165,7 @@ Result<std::vector<Convoy>> ExtendDirected(Store* store,
       StartMap next;
       for (Frontier& f : frontier) {
         K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
-                            ReCluster(store, t, f.set, params));
+                            ReCluster(store, t, f.set, params, &scratch));
         bool found_self = false;
         for (ObjectSet& c : clusters) {
           if (c == f.set) found_self = true;
@@ -213,15 +220,56 @@ Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
   const TimeRange range = store->time_range();
   if (range.length() < params.k) return std::vector<Convoy>{};
 
-  // Step 1: cluster the benchmark points.
+  // Threading setup. With T = num_threads (default hardware_concurrency),
+  // the two embarrassingly parallel phases run on the calling thread plus
+  // T - 1 pool workers; T = 1 is the exact sequential path. Stores are not
+  // thread-safe, so fetches are serialized by `store_mu` while clustering
+  // runs concurrently on per-slot scratches. Outputs are gathered by
+  // benchmark/window index, so results are identical for every T.
+  int threads =
+      options.num_threads > 0
+          ? options.num_threads
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Spawning the pool costs a thread create/join per worker. An explicit
+  // num_threads is always honored, but the default skips the pool for jobs
+  // too small to amortize it (sub-millisecond mines in tests and sweeps).
+  if (options.num_threads <= 0 && store->num_points() < 65536) threads = 1;
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads - 1);
+  std::mutex store_mu;
+  std::vector<SnapshotScratch> scratches(static_cast<size_t>(threads));
+
+  // Runs fn(slot, i) for i in [0, n): on the pool when present, inline
+  // otherwise. Statuses are collected per item; the first failure wins.
+  auto for_each_indexed =
+      [&](size_t n,
+          const std::function<Status(size_t, size_t)>& fn) -> Status {
+    if (!pool.has_value()) {
+      for (size_t i = 0; i < n; ++i) K2_RETURN_NOT_OK(fn(0, i));
+      return Status::OK();
+    }
+    std::vector<Status> statuses(n);
+    pool->ParallelFor(n, [&](size_t slot, size_t i) {
+      statuses[i] = fn(slot, i);
+    });
+    for (Status& status : statuses) K2_RETURN_NOT_OK(status);
+    return Status::OK();
+  };
+
+  // Step 1: cluster the benchmark points, concurrently across points.
   Stopwatch sw;
   const std::vector<Timestamp> benchmarks = BenchmarkPoints(range, params.k);
   s->benchmark_points = benchmarks.size();
   std::vector<std::vector<ObjectSet>> benchmark_clusters(benchmarks.size());
-  for (size_t i = 0; i < benchmarks.size(); ++i) {
-    K2_ASSIGN_OR_RETURN(benchmark_clusters[i],
-                        ClusterSnapshot(store, benchmarks[i], params));
-  }
+  K2_RETURN_NOT_OK(
+      for_each_indexed(benchmarks.size(), [&](size_t slot, size_t i) {
+        auto result =
+            ClusterSnapshot(store, benchmarks[i], params, &scratches[slot],
+                            pool.has_value() ? &store_mu : nullptr);
+        K2_RETURN_NOT_OK(result.status());
+        benchmark_clusters[i] = result.MoveValue();
+        return Status::OK();
+      }));
   s->phases.Add("benchmark", sw.ElapsedSeconds());
 
   // Step 2: candidate clusters per hop-window.
@@ -241,16 +289,21 @@ Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
   }
   s->phases.Add("candidates", sw.ElapsedSeconds());
 
-  // Step 3: HWMT inside each window.
+  // Step 3: HWMT inside each window, concurrently across windows.
   sw.Restart();
   std::vector<std::vector<ObjectSet>> spanning(num_windows);
-  for (size_t w = 0; w < num_windows; ++w) {
-    if (candidates[w].empty()) continue;
-    K2_ASSIGN_OR_RETURN(
-        spanning[w],
+  K2_RETURN_NOT_OK(for_each_indexed(num_windows, [&](size_t slot, size_t w) {
+    if (candidates[w].empty()) return Status::OK();
+    auto result =
         HwmtSpanning(store, params, benchmarks[w], benchmarks[w + 1],
                      candidates[w], options.hwmt_binary_order,
-                     /*verify_right_benchmark=*/!options.candidate_pruning));
+                     /*verify_right_benchmark=*/!options.candidate_pruning,
+                     &scratches[slot], pool.has_value() ? &store_mu : nullptr);
+    K2_RETURN_NOT_OK(result.status());
+    spanning[w] = result.MoveValue();
+    return Status::OK();
+  }));
+  for (size_t w = 0; w < num_windows; ++w) {
     s->spanning_convoys += spanning[w].size();
   }
   s->phases.Add("HWMT", sw.ElapsedSeconds());

@@ -7,10 +7,12 @@
 #ifndef K2_CORE_K2HOP_H_
 #define K2_CORE_K2HOP_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baselines/validation.h"
+#include "cluster/store_clustering.h"
 #include "common/convoy.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -30,6 +32,16 @@ struct K2HopOptions {
   /// Run the final FC validation; false stops after extension and returns
   /// the (partially connected) extended candidates.
   bool validate = true;
+  /// Worker threads for the two embarrassingly parallel phases (benchmark
+  /// clustering and hop-window verification). 0 = hardware_concurrency,
+  /// except that small stores (< 64k points) run sequentially because the
+  /// pool costs more than it saves there; 1 = fully sequential (today's
+  /// single-threaded behaviour); an explicit value > 1 always uses the
+  /// pool. Results are
+  /// byte-identical for every thread count: per-item outputs are gathered by
+  /// benchmark/window index and the store is the only shared state (its
+  /// accesses are serialized; clustering runs outside the lock).
+  int num_threads = 0;
 };
 
 struct K2HopStats {
@@ -81,10 +93,14 @@ std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
 /// HWMT (Algorithm 2): verifies candidates at every tick strictly inside
 /// (b_left, b_right); when `verify_right_benchmark`, b_right is probed too
 /// (used by the no-pruning ablation). Returns the surviving object sets.
+/// `scratch` (optional) makes repeated calls allocation-free; `store_mu`
+/// (optional) serializes store access when windows are verified
+/// concurrently.
 Result<std::vector<ObjectSet>> HwmtSpanning(
     Store* store, const MiningParams& params, Timestamp b_left,
     Timestamp b_right, const std::vector<ObjectSet>& candidates,
-    bool binary_order = true, bool verify_right_benchmark = false);
+    bool binary_order = true, bool verify_right_benchmark = false,
+    SnapshotScratch* scratch = nullptr, std::mutex* store_mu = nullptr);
 
 /// DCM merge (Sec. 4.4): folds per-window spanning convoys left to right
 /// into maximal spanning convoys. `spanning[i]` spans

@@ -1,13 +1,21 @@
 #include "storage/lsm/bloom.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace k2::lsm {
 
 BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
-  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
-  words_.assign((bits + 63) / 64, 0);
+  // Cache-line-blocked layout (cf. RocksDB): the first hash selects one
+  // 512-bit block, all probes land inside it. A negative lookup — the common
+  // case on the LSM point-read path, one MayContain per key per table —
+  // costs one cache miss instead of num_hashes_. The bit count is rounded
+  // to a power of two so block selection is a mask, not a 64-bit modulo.
+  const size_t bits =
+      std::bit_ceil(std::max<size_t>(kBlockBits, expected_keys * bits_per_key));
+  words_.assign(bits / 64, 0);
+  blocked_ = true;
   // k = ln(2) * bits/key, clamped to a sane range.
   num_hashes_ = std::clamp(
       static_cast<int>(std::round(bits_per_key * 0.6931)), 1, 12);
@@ -24,6 +32,21 @@ void BloomFilter::Add(uint64_t key) {
   const uint64_t h = Mix(key);
   const uint64_t delta = (h >> 32) | 1;  // odd => cycles through all bits
   uint64_t bit = h;
+  if (blocked_) {
+    // Upper hash bits pick the block, lower bits walk inside it; the two
+    // streams are nearly independent, which keeps the per-block FP rate
+    // close to an unblocked filter of the same density.
+    const size_t block = (h >> 17) & (words_.size() / kBlockWords - 1);
+    uint64_t* word = words_.data() + block * kBlockWords;
+    for (int i = 0; i < num_hashes_; ++i) {
+      const size_t pos = bit & (kBlockBits - 1);
+      word[pos / 64] |= (1ULL << (pos % 64));
+      bit += delta;
+    }
+    return;
+  }
+  // Flat layout: only filters deserialized from pre-blocked-era files, kept
+  // probe-compatible with the binaries that wrote them.
   const size_t nbits = num_bits();
   for (int i = 0; i < num_hashes_; ++i) {
     const size_t pos = bit % nbits;
@@ -37,6 +60,16 @@ bool BloomFilter::MayContain(uint64_t key) const {
   const uint64_t h = Mix(key);
   const uint64_t delta = (h >> 32) | 1;
   uint64_t bit = h;
+  if (blocked_) {
+    const size_t block = (h >> 17) & (words_.size() / kBlockWords - 1);
+    const uint64_t* word = words_.data() + block * kBlockWords;
+    for (int i = 0; i < num_hashes_; ++i) {
+      const size_t pos = bit & (kBlockBits - 1);
+      if ((word[pos / 64] & (1ULL << (pos % 64))) == 0) return false;
+      bit += delta;
+    }
+    return true;
+  }
   const size_t nbits = num_bits();
   for (int i = 0; i < num_hashes_; ++i) {
     const size_t pos = bit % nbits;
@@ -47,10 +80,11 @@ bool BloomFilter::MayContain(uint64_t key) const {
 }
 
 BloomFilter BloomFilter::FromWords(std::vector<uint64_t> words,
-                                   int num_hashes) {
+                                   uint32_t num_hashes_word) {
   BloomFilter f;
   f.words_ = std::move(words);
-  f.num_hashes_ = num_hashes;
+  f.blocked_ = (num_hashes_word & kBlockedLayoutFlag) != 0;
+  f.num_hashes_ = static_cast<int>(num_hashes_word & ~kBlockedLayoutFlag);
   return f;
 }
 

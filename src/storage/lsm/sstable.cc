@@ -4,6 +4,11 @@
 #include <cerrno>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define K2_SSTABLE_HAS_MMAP 1
+#endif
+
 #include "storage/store.h"
 
 namespace k2::lsm {
@@ -87,7 +92,7 @@ Status SSTableBuilder::Finish() {
 
   BloomFilter bloom(std::max<size_t>(bloom_reserve_, all_entries_.size()));
   for (const auto& [key, value] : all_entries_) bloom.Add(key);
-  const uint32_t num_hashes = static_cast<uint32_t>(bloom.num_hashes());
+  const uint32_t num_hashes = bloom.num_hashes_for_disk();
   const uint32_t num_words = static_cast<uint32_t>(bloom.words().size());
   K2_RETURN_NOT_OK(WriteRaw(file_, &num_hashes, 4, path_));
   K2_RETURN_NOT_OK(WriteRaw(file_, &num_words, 4, path_));
@@ -108,6 +113,11 @@ Status SSTableBuilder::Finish() {
 // ---------------------------------------------------------------------------
 
 SSTable::~SSTable() {
+#ifdef K2_SSTABLE_HAS_MMAP
+  if (map_ != nullptr) {
+    munmap(const_cast<char*>(map_), map_size_);
+  }
+#endif
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -161,47 +171,85 @@ Result<std::unique_ptr<SSTable>> SSTable::Open(const std::string& path,
   if (num_words > 0 && std::fread(words.data(), 8, num_words, f) != num_words) {
     return Status::IOError("bloom read failed on " + path);
   }
-  table->bloom_ = BloomFilter::FromWords(std::move(words),
-                                         static_cast<int>(num_hashes));
+  table->bloom_ = BloomFilter::FromWords(std::move(words), num_hashes);
 
   if (!table->index_.empty()) {
     table->min_key_ = table->index_.front().first_key;
     table->max_key_ = table->index_.back().last_key;
   }
+
+#ifdef K2_SSTABLE_HAS_MMAP
+  // Tables are immutable once built: map the whole file read-only so block
+  // fetches are page-cache copies instead of fseek+fread syscall pairs. On
+  // mapping failure the stdio handle stays as the fallback read path.
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) {
+      void* map = mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                       MAP_PRIVATE, fileno(f), 0);
+      if (map != MAP_FAILED) {
+        table->map_ = static_cast<const char*>(map);
+        table->map_size_ = static_cast<size_t>(size);
+      }
+    }
+  }
+#endif
   return table;
 }
 
-Status SSTable::ReadBlock(size_t b) {
-  if (cached_block_ == static_cast<int64_t>(b)) return Status::OK();
+Result<const std::vector<SSTable::Entry>*> SSTable::GetBlock(size_t b) {
+  if (CachedBlock* cb = FindCached(b)) {
+    cb->last_used = ++cache_clock_;
+    if (stats_ != nullptr) ++stats_->pages_cached;
+    return &cb->entries;
+  }
+  return LoadBlock(b);
+}
+
+Result<const std::vector<SSTable::Entry>*> SSTable::LoadBlock(size_t b) {
+  // Evict the least recently used slot (empty slots sort first).
+  CachedBlock* victim = &cache_[0];
+  for (CachedBlock& cb : cache_) {
+    if (cb.last_used < victim->last_used) victim = &cb;
+  }
   const IndexEntry& e = index_[b];
-  scratch_.resize(e.count);
-  if (std::fseek(file_, static_cast<long>(e.offset), SEEK_SET) != 0) {
-    return Status::IOError("block seek failed on " + path_);
+  victim->index = -1;  // invalid while being overwritten
+  victim->entries.resize(e.count);
+  // Entry mirrors the on-disk block byte-for-byte, so the block decodes
+  // with a single copy straight into the entry array.
+  static_assert(sizeof(Entry) == kEntrySize &&
+                std::is_trivially_copyable_v<Entry>);
+  const size_t nbytes = e.count * kEntrySize;
+  if (map_ != nullptr) {
+    if (e.offset + nbytes > map_size_) {
+      return Status::IOError("block out of mapped range on " + path_);
+    }
+    std::memcpy(victim->entries.data(), map_ + e.offset, nbytes);
+  } else {
+    if (std::fseek(file_, static_cast<long>(e.offset), SEEK_SET) != 0) {
+      return Status::IOError("block seek failed on " + path_);
+    }
+    if (std::fread(victim->entries.data(), kEntrySize, e.count, file_) !=
+        e.count) {
+      return Status::IOError("block read failed on " + path_);
+    }
   }
-  if (stats_ != nullptr) ++stats_->seeks;
-  raw_.resize(e.count * kEntrySize);
-  if (std::fread(raw_.data(), 1, raw_.size(), file_) != raw_.size()) {
-    return Status::IOError("block read failed on " + path_);
+  if (stats_ != nullptr) {
+    // A fetch of anything but the next contiguous block repositions the
+    // medium; sequential scans charge one seek for the whole run.
+    if (static_cast<int64_t>(b) != last_fetched_block_ + 1) ++stats_->seeks;
+    ++stats_->pages_read;
+    stats_->bytes_read += nbytes;
   }
-  for (uint32_t i = 0; i < e.count; ++i) {
-    auto& [key, value] = scratch_[i];
-    std::memcpy(&key, raw_.data() + i * kEntrySize, 8);
-    std::memcpy(&value.x, raw_.data() + i * kEntrySize + 8, 8);
-    std::memcpy(&value.y, raw_.data() + i * kEntrySize + 16, 8);
-  }
-  if (stats_ != nullptr) stats_->bytes_read += e.count * kEntrySize;
-  cached_block_ = static_cast<int64_t>(b);
-  return Status::OK();
+  last_fetched_block_ = static_cast<int64_t>(b);
+  victim->index = static_cast<int64_t>(b);
+  victim->last_used = ++cache_clock_;
+  return &victim->entries;
 }
 
 Result<bool> SSTable::Get(uint64_t key, LsmValue* value, bool use_bloom) {
   if (num_entries_ == 0 || key < min_key_ || key > max_key_) return false;
-  if (use_bloom && !bloom_.MayContain(key)) {
-    if (stats_ != nullptr) ++stats_->bloom_negative;
-    return false;
-  }
-  if (stats_ != nullptr) ++stats_->sstables_touched;
-  // Binary search for the block whose last_key >= key.
+  // Binary search the resident index for the block whose last_key >= key.
   size_t lo = 0, hi = index_.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
@@ -212,12 +260,28 @@ Result<bool> SSTable::Get(uint64_t key, LsmValue* value, bool use_bloom) {
     }
   }
   if (lo == index_.size() || index_[lo].first_key > key) return false;
-  K2_RETURN_NOT_OK(ReadBlock(lo));
+  // The bloom filter gates only the block fetch: when the candidate block
+  // is already cached, probing the block directly is cheaper than probing
+  // the filter — and the point queries of one GetPoints batch land in the
+  // same block almost every time.
+  const std::vector<Entry>* entries;
+  if (CachedBlock* cb = FindCached(lo)) {
+    cb->last_used = ++cache_clock_;
+    if (stats_ != nullptr) ++stats_->pages_cached;
+    entries = &cb->entries;
+  } else {
+    if (use_bloom && !bloom_.MayContain(key)) {
+      if (stats_ != nullptr) ++stats_->bloom_negative;
+      return false;
+    }
+    K2_ASSIGN_OR_RETURN(entries, LoadBlock(lo));
+  }
+  if (stats_ != nullptr) ++stats_->sstables_touched;
   auto it = std::lower_bound(
-      scratch_.begin(), scratch_.end(), key,
-      [](const auto& entry, uint64_t k) { return entry.first < k; });
-  if (it != scratch_.end() && it->first == key) {
-    *value = it->second;
+      entries->begin(), entries->end(), key,
+      [](const Entry& entry, uint64_t k) { return entry.key < k; });
+  if (it != entries->end() && it->key == key) {
+    *value = it->value;
     return true;
   }
   return false;
@@ -238,11 +302,11 @@ Status SSTable::Scan(uint64_t lo, uint64_t hi,
     }
   }
   for (; b < index_.size() && index_[b].first_key <= hi; ++b) {
-    K2_RETURN_NOT_OK(ReadBlock(b));
-    for (const auto& [key, value] : scratch_) {
-      if (key < lo) continue;
-      if (key > hi) return Status::OK();
-      fn(key, value);
+    K2_ASSIGN_OR_RETURN(const std::vector<Entry>* entries, GetBlock(b));
+    for (const Entry& entry : *entries) {
+      if (entry.key < lo) continue;
+      if (entry.key > hi) return Status::OK();
+      fn(entry.key, entry.value);
     }
   }
   return Status::OK();

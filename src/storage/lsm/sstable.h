@@ -4,7 +4,8 @@
 //
 //   [block 0][block 1]...[block B-1]
 //   [index: B * {uint64 first_key, uint64 last_key, uint64 offset, u32 count}]
-//   [bloom: uint32 num_hashes, uint32 num_words, words...]
+//   [bloom: uint32 num_hashes (top bit = blocked layout), uint32 num_words,
+//    words...]
 //   [footer: uint64 index_offset, uint64 bloom_offset, uint64 num_entries,
 //            uint64 magic]
 #ifndef K2_STORAGE_LSM_SSTABLE_H_
@@ -106,17 +107,50 @@ class SSTable {
     uint32_t count;
   };
 
-  /// Loads block `b` into scratch_; a one-block cache absorbs the repeated
-  /// reads of consecutive point queries (keys of one tick are co-located).
-  Status ReadBlock(size_t b);
+  /// In-memory mirror of one on-disk entry: key + x + y, 24 bytes with no
+  /// padding, so whole blocks decode with a single read.
+  struct Entry {
+    uint64_t key;
+    LsmValue value;
+  };
+
+  /// Small per-table LRU block cache (the HBase-block-cache analogue of the
+  /// paper's LSMT engine). One snapshot tick spans a handful of blocks and
+  /// the mining loops re-probe the same tick once per candidate, so a few
+  /// resident blocks turn almost all of those repeat reads into hits.
+  static constexpr size_t kCachedBlocks = 8;
+  struct CachedBlock {
+    int64_t index = -1;       // block number, -1 = empty slot
+    uint64_t last_used = 0;   // LRU clock value
+    std::vector<Entry> entries;
+  };
+
+  /// Returns the cache slot holding block `b`, or nullptr on a miss.
+  CachedBlock* FindCached(size_t b) {
+    for (CachedBlock& cb : cache_) {
+      if (cb.index == static_cast<int64_t>(b)) return &cb;
+    }
+    return nullptr;
+  }
+
+  /// Cache-miss path: copies block `b` out of the read-only mmap of the
+  /// immutable table file (no syscalls; the copy also keeps the entry array
+  /// aligned and type-safe), falling back to fseek/fread when the file
+  /// could not be mapped. Evicts the LRU slot.
+  Result<const std::vector<Entry>*> LoadBlock(size_t b);
+
+  /// FindCached + LoadBlock, with hit/miss accounting.
+  Result<const std::vector<Entry>*> GetBlock(size_t b);
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  const char* map_ = nullptr;  // read-only mmap of the whole file
+  size_t map_size_ = 0;
   std::vector<IndexEntry> index_;
   BloomFilter bloom_;
-  std::vector<std::pair<uint64_t, LsmValue>> scratch_;
-  std::vector<char> raw_;
-  int64_t cached_block_ = -1;
+  CachedBlock cache_[kCachedBlocks];
+  uint64_t cache_clock_ = 0;
+  int64_t last_fetched_block_ = -2;  // -2: nothing fetched yet
   uint64_t num_entries_ = 0;
   uint64_t min_key_ = 0;
   uint64_t max_key_ = 0;

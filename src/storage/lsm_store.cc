@@ -184,10 +184,11 @@ Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
                            std::vector<SnapshotPoint>* out) {
   out->clear();
   io_stats_.point_queries += objects.size();
+  const bool have_memtable = !memtable_.empty();
   for (ObjectId oid : objects) {
     const uint64_t key = MakeKey(t, oid);
     LsmValue value;
-    if (memtable_.Get(key, &value)) {
+    if (have_memtable && memtable_.Get(key, &value)) {
       out->push_back(SnapshotPoint{oid, value.x, value.y});
       continue;
     }

@@ -5,6 +5,7 @@
 #include "cluster/dbscan.h"
 #include "cluster/grid_index.h"
 #include "common/object_set.h"
+#include "common/rng.h"
 
 namespace k2 {
 namespace {
@@ -53,6 +54,77 @@ TEST(GridIndexTest, NeighborsOfArbitraryLocation) {
   std::vector<uint32_t> out;
   index.NeighborsOf(9.5, 0.0, 1.0, &out);
   EXPECT_EQ(out, (std::vector<uint32_t>{1}));
+}
+
+std::vector<uint32_t> BruteForceNeighborsOf(
+    const std::vector<SnapshotPoint>& pts, double x, double y, double eps) {
+  std::vector<uint32_t> out;
+  for (size_t j = 0; j < pts.size(); ++j) {
+    const double dx = pts[j].x - x;
+    const double dy = pts[j].y - y;
+    if (dx * dx + dy * dy <= eps * eps) {
+      out.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return out;
+}
+
+// Property test for the CSR layout: region queries must match brute force
+// over random point sets, eps values, and query locations — including a
+// reused (rebuilt) index and an eps far below the coordinate spread, which
+// exercises the cell cap.
+TEST(GridIndexTest, RandomizedMatchesBruteForce) {
+  GridIndex reused;  // rebuilt every round: exercises buffer reuse
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const size_t n = 1 + rng.NextInt(250);
+    const double spread = rng.Uniform(1.0, 2000.0);
+    std::vector<SnapshotPoint> pts;
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(SnapshotPoint{static_cast<ObjectId>(i),
+                                  rng.Uniform(-spread, spread),
+                                  rng.Uniform(-spread, spread)});
+    }
+    const double eps_choices[] = {0.001, 0.9, 7.5, spread / 3.0, 3 * spread};
+    const double eps = eps_choices[rng.NextInt(5)];
+    reused.Build(pts, eps);
+    EXPECT_EQ(reused.num_points(), n);
+
+    for (size_t i = 0; i < std::min<size_t>(n, 40); ++i) {
+      std::vector<uint32_t> got;
+      reused.Neighbors(i, eps, &got);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, BruteForceNeighborsOf(pts, pts[i].x, pts[i].y, eps))
+          << "seed=" << seed << " i=" << i << " eps=" << eps;
+    }
+    // Arbitrary query locations, including far outside the bounding box.
+    for (int q = 0; q < 10; ++q) {
+      const double x = rng.Uniform(-3 * spread, 3 * spread);
+      const double y = rng.Uniform(-3 * spread, 3 * spread);
+      std::vector<uint32_t> got;
+      reused.NeighborsOf(x, y, eps, &got);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, BruteForceNeighborsOf(pts, x, y, eps))
+          << "seed=" << seed << " query=(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(GridIndexTest, TinyEpsOnWideSpreadStaysLinear) {
+  // 100 points spread over kilometres with eps in millimetres: the cell cap
+  // must keep the grid small instead of allocating a bounding-box grid with
+  // billions of cells.
+  std::vector<SnapshotPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(SnapshotPoint{static_cast<ObjectId>(i), i * 1000.0,
+                                (i % 10) * 2000.0});
+  }
+  pts.push_back(SnapshotPoint{100, 0.0, 0.0});  // duplicate of point 0
+  GridIndex index(pts, 1e-3);
+  std::vector<uint32_t> out;
+  index.Neighbors(0, 1e-3, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 100}));
 }
 
 TEST(GridIndexTest, DiagonalCellsCovered) {

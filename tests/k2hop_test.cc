@@ -6,6 +6,7 @@
 #include "baselines/gold.h"
 #include "cluster/store_clustering.h"
 #include "core/k2hop.h"
+#include "gen/synthetic.h"
 #include "storage/memory_store.h"
 #include "tests/test_util.h"
 
@@ -342,6 +343,37 @@ TEST(K2HopTest, ValidateFalseReturnsPartiallyConnectedCandidates) {
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
   EXPECT_EQ(out.value()[0], C({0, 1}, 0, 9));
+}
+
+TEST(K2HopTest, ResultsAreIdenticalForEveryThreadCount) {
+  // The parallel pipeline must be exactly result-equivalent: benchmark
+  // clustering and hop-window verification are gathered by index, so any
+  // num_threads yields byte-identical convoy lists. Dense random walks are
+  // the adversarial input (chance convoys, splits, merges).
+  for (uint64_t seed : {7u, 19u, 42u}) {
+    RandomWalkSpec spec;
+    spec.num_objects = 24;
+    spec.num_ticks = 40;
+    spec.area = 24.0;
+    spec.step = 3.0;
+    spec.seed = seed;
+    auto store = MakeMemStore(GenerateRandomWalk(spec));
+    const MiningParams params{3, 6, 7.0};
+
+    K2HopOptions options;
+    options.num_threads = 1;
+    auto sequential = MineK2Hop(store.get(), params, options);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_FALSE(sequential.value().empty()) << "weak test input, seed=" << seed;
+
+    for (int threads : {2, 8}) {
+      options.num_threads = threads;
+      auto parallel = MineK2Hop(store.get(), params, options);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(parallel.value(), sequential.value())
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

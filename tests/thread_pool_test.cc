@@ -1,0 +1,128 @@
+// Unit tests for the work-stealing ThreadPool: task completion, exception
+// propagation, nested submission, and ParallelFor index coverage.
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace k2 {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, AsyncDeliversValue) {
+  ThreadPool pool(2);
+  auto future = pool.Async([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Async(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmitCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&pool, &inner_done] {
+      pool.Submit([&inner_done] { inner_done.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner_done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsAreWithinRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> slot_hits(pool.num_workers() + 1);
+  pool.ParallelFor(200, [&](size_t slot, size_t) {
+    ASSERT_LT(slot, slot_hits.size());
+    slot_hits[slot].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : slot_hits) total += h.load();
+  EXPECT_EQ(total, 200);
+  // No assertion on slot 0's share: helpers may legally drain every index
+  // before the calling thread claims one.
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  done.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // Every non-throwing index still ran: an exception skips no work.
+  EXPECT_EQ(done.load(), 63);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace k2
