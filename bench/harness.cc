@@ -56,22 +56,7 @@ std::string JsonNumber(double v) {
 void RecordRun(const std::string& miner, const Store& store,
                const MiningParams& params, double seconds, size_t convoys,
                const IoStats& io) {
-  JsonSink& sink = Sink();
-  if (sink.path.empty()) return;
-  std::ostringstream os;
-  os << "{\"bench\":\"" << sink.bench << "\",\"miner\":\"" << miner
-     << "\",\"store\":\"" << store.name() << "\",\"params\":{\"m\":"
-     << params.m << ",\"k\":" << params.k
-     << ",\"eps\":" << JsonNumber(params.eps) << "},\"wall_ms\":"
-     << JsonNumber(seconds * 1e3) << ",\"convoys\":" << convoys
-     << ",\"io_stats\":{\"points_read\":" << io.points_read()
-     << ",\"point_queries\":" << io.point_queries
-     << ",\"scanned_points\":" << io.scanned_points
-     << ",\"bytes_read\":" << io.bytes_read << ",\"seeks\":" << io.seeks
-     << ",\"pages_read\":" << io.pages_read
-     << ",\"pages_cached\":" << io.pages_cached
-     << ",\"bloom_negative\":" << io.bloom_negative << "}}";
-  sink.records.push_back(os.str());
+  RecordMiningRun(miner, store, params, seconds, convoys, io);
 }
 
 double EnvDouble(const char* name, double fallback) {
@@ -100,6 +85,29 @@ std::string ScaleTag() {
 }
 
 }  // namespace
+
+void RecordMiningRun(const std::string& miner, const Store& store,
+                     const MiningParams& params, double seconds,
+                     size_t convoys, const IoStats& io,
+                     const std::string& extra_json) {
+  JsonSink& sink = Sink();
+  if (sink.path.empty()) return;
+  std::ostringstream os;
+  os << "{\"bench\":\"" << sink.bench << "\",\"miner\":\"" << miner
+     << "\",\"store\":\"" << store.name() << "\",\"params\":{\"m\":"
+     << params.m << ",\"k\":" << params.k
+     << ",\"eps\":" << JsonNumber(params.eps) << "},\"wall_ms\":"
+     << JsonNumber(seconds * 1e3) << ",\"convoys\":" << convoys
+     << ",\"io_stats\":{\"points_read\":" << io.points_read()
+     << ",\"point_queries\":" << io.point_queries
+     << ",\"scanned_points\":" << io.scanned_points
+     << ",\"bytes_read\":" << io.bytes_read << ",\"seeks\":" << io.seeks
+     << ",\"pages_read\":" << io.pages_read
+     << ",\"pages_cached\":" << io.pages_cached
+     << ",\"bloom_negative\":" << io.bloom_negative << "}" << extra_json
+     << "}";
+  sink.records.push_back(os.str());
+}
 
 void ParseArgs(int argc, char** argv) {
   if (argc > 0) {

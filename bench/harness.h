@@ -57,6 +57,14 @@ struct MineOutcome {
 MineOutcome RunK2(Store* store, const MiningParams& params,
                   K2HopStats* stats = nullptr,
                   const K2HopOptions& options = {});
+
+/// Appends one mining-run record to the --json sink (no-op without --json).
+/// `extra_json` is spliced verbatim into the record object and must either
+/// be empty or start with a comma (e.g. ",\"ticks\":1800").
+void RecordMiningRun(const std::string& miner, const Store& store,
+                     const MiningParams& params, double seconds,
+                     size_t convoys, const IoStats& io,
+                     const std::string& extra_json = "");
 MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
                      VcodaStats* stats = nullptr);
 MineOutcome RunSpare(Store* store, const MiningParams& params, int workers);

@@ -1,0 +1,51 @@
+// Streaming scalar summary (count / total / min / max / mean) with O(1)
+// state — used by the online mining path to report per-tick latencies
+// without retaining a sample per tick.
+#ifndef K2_COMMON_RUNNING_STAT_H_
+#define K2_COMMON_RUNNING_STAT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace k2 {
+
+class RunningStat {
+ public:
+  void Add(double v) {
+    ++count_;
+    total_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  size_t count() const { return count_; }
+  double total() const { return total_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Clear() { *this = RunningStat(); }
+
+  /// "n=120 total=0.5 mean=0.004 min=0.001 max=0.02".
+  std::string DebugString() const {
+    std::ostringstream os;
+    os << "n=" << count_ << " total=" << total_ << " mean=" << mean()
+       << " min=" << min() << " max=" << max();
+    return os.str();
+  }
+
+ private:
+  size_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace k2
+
+#endif  // K2_COMMON_RUNNING_STAT_H_

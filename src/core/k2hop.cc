@@ -89,106 +89,141 @@ Result<std::vector<ObjectSet>> HwmtSpanning(
 
 namespace {
 
-/// Candidate map used during merge/extension: object set -> earliest start.
-using StartMap = std::unordered_map<ObjectSet, Timestamp, ObjectSetHash>;
+void AddEarliest(SpanningConvoyMerger::StartMap* map, ObjectSet set,
+                 Timestamp start);
 
-void AddEarliest(StartMap* map, ObjectSet set, Timestamp start) {
+}  // namespace
+
+void SpanningConvoyMerger::AddWindow(Timestamp window_start,
+                                     const std::vector<ObjectSet>& spanning,
+                                     std::vector<Convoy>* died) {
+  StartMap next;
+  // Deaths of one window can dominate each other (active entries overlap);
+  // deaths of different windows never can, so a per-window maximal set is
+  // enough to reproduce the global merge result.
+  MaximalConvoySet window_died;
+  for (const auto& [set, start] : active_) {
+    bool fully_extended = false;
+    for (const ObjectSet& s : spanning) {
+      ObjectSet x = ObjectSet::Intersect(set, s);
+      if (x.size() < static_cast<size_t>(m_)) continue;
+      if (x == set) fully_extended = true;
+      AddEarliest(&next, std::move(x), start);
+    }
+    if (!fully_extended) {
+      window_died.Insert(Convoy(set, start, window_start));
+    }
+  }
+  for (const ObjectSet& s : spanning) {
+    AddEarliest(&next, s, window_start);
+  }
+  active_ = std::move(next);
+  for (Convoy& v : window_died.TakeSorted()) died->push_back(std::move(v));
+}
+
+void SpanningConvoyMerger::Finish(Timestamp last_benchmark,
+                                  std::vector<Convoy>* died) {
+  MaximalConvoySet closing;
+  for (auto& [set, start] : active_) {
+    closing.Insert(Convoy(set, start, last_benchmark));
+  }
+  active_.clear();
+  for (Convoy& v : closing.TakeSorted()) died->push_back(std::move(v));
+}
+
+std::vector<Convoy> MergeSpanningConvoys(
+    const std::vector<std::vector<ObjectSet>>& spanning,
+    const std::vector<Timestamp>& benchmarks, int m) {
+  MaximalConvoySet results;
+  SpanningConvoyMerger merger(m);
+  std::vector<Convoy> died;
+  for (size_t w = 0; w < spanning.size(); ++w) {
+    merger.AddWindow(benchmarks[w], spanning[w], &died);
+  }
+  if (!benchmarks.empty()) merger.Finish(benchmarks.back(), &died);
+  for (Convoy& v : died) results.Insert(std::move(v));
+  return results.TakeSorted();
+}
+
+namespace {
+
+/// Merge/extension bookkeeping: object set -> earliest start seen.
+void AddEarliest(SpanningConvoyMerger::StartMap* map, ObjectSet set,
+                 Timestamp start) {
   auto [it, inserted] = map->try_emplace(std::move(set), start);
   if (!inserted && start < it->second) it->second = start;
 }
 
 }  // namespace
 
-std::vector<Convoy> MergeSpanningConvoys(
-    const std::vector<std::vector<ObjectSet>>& spanning,
-    const std::vector<Timestamp>& benchmarks, int m) {
-  MaximalConvoySet results;
-  // Active convoys all end at the benchmark point that starts the window
-  // being processed; map value = convoy start tick.
-  StartMap active;
-  for (size_t w = 0; w < spanning.size(); ++w) {
-    const Timestamp window_start = benchmarks[w];
-    const Timestamp window_end = benchmarks[w + 1];
-    StartMap next;
-    for (const auto& [set, start] : active) {
-      bool fully_extended = false;
-      for (const ObjectSet& s : spanning[w]) {
-        ObjectSet x = ObjectSet::Intersect(set, s);
-        if (x.size() < static_cast<size_t>(m)) continue;
-        if (x == set) fully_extended = true;
-        AddEarliest(&next, std::move(x), start);
+ConvoyExtensionWalk::ConvoyExtensionWalk(const Convoy& seed, int dir)
+    : dir_(dir),
+      other_side_(dir > 0 ? seed.start : seed.end),
+      next_t_(dir > 0 ? seed.end + 1 : seed.start - 1),
+      frontier_{seed.objects} {}
+
+Status ConvoyExtensionWalk::Advance(Store* store, const MiningParams& params,
+                                    Timestamp upto,
+                                    std::vector<Convoy>* completed,
+                                    SnapshotScratch* scratch) {
+  std::optional<SnapshotScratch> local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch.emplace();
+  while (!frontier_.empty() && (dir_ > 0 ? next_t_ <= upto : next_t_ >= upto)) {
+    const Timestamp t = next_t_;
+    std::vector<ObjectSet> next;
+    for (ObjectSet& set : frontier_) {
+      K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
+                          ReCluster(store, t, set, params, scratch));
+      bool found_self = false;
+      for (ObjectSet& c : clusters) {
+        if (c == set) found_self = true;
+        next.push_back(std::move(c));
       }
-      if (!fully_extended) {
-        results.Insert(Convoy(set, start, window_start));
+      if (!found_self) {
+        // The branch could not be extended in its current shape: emit it.
+        const Timestamp cur_end = t - dir_;
+        completed->push_back(dir_ > 0
+                                 ? Convoy(std::move(set), other_side_, cur_end)
+                                 : Convoy(std::move(set), cur_end, other_side_));
       }
     }
-    for (const ObjectSet& s : spanning[w]) {
-      AddEarliest(&next, s, window_start);
-    }
-    active = std::move(next);
-    (void)window_end;
+    // All branches of one walk share other_side_, so deduplication is by
+    // object set alone.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier_ = std::move(next);
+    next_t_ += dir_;
   }
-  if (!benchmarks.empty()) {
-    const Timestamp last = benchmarks.back();
-    for (auto& [set, start] : active) {
-      results.Insert(Convoy(set, start, last));
-    }
+  return Status::OK();
+}
+
+void ConvoyExtensionWalk::Flush(Timestamp limit,
+                                std::vector<Convoy>* completed) {
+  for (ObjectSet& set : frontier_) {
+    completed->push_back(dir_ > 0 ? Convoy(std::move(set), other_side_, limit)
+                                  : Convoy(std::move(set), limit, other_side_));
   }
-  return results.TakeSorted();
+  frontier_.clear();
 }
 
 namespace {
 
 /// Shared walker for ExtendRight / ExtendLeft. `dir` = +1 walks toward
-/// `limit` on the right, -1 toward the left.
+/// `limit` on the right, -1 toward the left. Each convoy is walked
+/// independently; the shared MaximalConvoySet only deduplicates results.
 Result<std::vector<Convoy>> ExtendDirected(Store* store,
                                            const MiningParams& params,
                                            std::vector<Convoy> convoys,
                                            Timestamp limit, int dir) {
   MaximalConvoySet results;
   SnapshotScratch scratch;
+  std::vector<Convoy> completed;
   for (Convoy& v : convoys) {
-    // frontier: object set -> fixed boundary of the other side.
-    struct Frontier {
-      ObjectSet set;
-      Timestamp other_side;
-    };
-    std::vector<Frontier> frontier{
-        {v.objects, dir > 0 ? v.start : v.end}};
-    const Timestamp from = dir > 0 ? v.end : v.start;
-    bool done = false;
-    for (Timestamp t = from + dir; !done && (dir > 0 ? t <= limit : t >= limit);
-         t += dir) {
-      // Value = the fixed other-side boundary. AddEarliest's min() is safe
-      // only because every frontier entry of one convoy shares the same
-      // other_side; do not batch different convoys into one walk.
-      StartMap next;
-      for (Frontier& f : frontier) {
-        K2_ASSIGN_OR_RETURN(std::vector<ObjectSet> clusters,
-                            ReCluster(store, t, f.set, params, &scratch));
-        bool found_self = false;
-        for (ObjectSet& c : clusters) {
-          if (c == f.set) found_self = true;
-          AddEarliest(&next, std::move(c), f.other_side);
-        }
-        if (!found_self) {
-          // f could not be extended in its current shape: emit it.
-          const Timestamp cur_end = t - dir;
-          results.Insert(dir > 0 ? Convoy(f.set, f.other_side, cur_end)
-                                 : Convoy(f.set, cur_end, f.other_side));
-        }
-      }
-      frontier.clear();
-      for (auto& [set, other] : next) {
-        frontier.push_back(Frontier{set, other});
-      }
-      done = frontier.empty();
-    }
-    // Whatever is still alive reached the dataset boundary.
-    for (Frontier& f : frontier) {
-      results.Insert(dir > 0 ? Convoy(f.set, f.other_side, limit)
-                             : Convoy(f.set, limit, f.other_side));
-    }
+    completed.clear();
+    ConvoyExtensionWalk walk(v, dir);
+    K2_RETURN_NOT_OK(walk.Advance(store, params, limit, &completed, &scratch));
+    walk.Flush(limit, &completed);
+    for (Convoy& c : completed) results.Insert(std::move(c));
   }
   return results.TakeSorted();
 }

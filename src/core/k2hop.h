@@ -9,6 +9,7 @@
 
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/validation.h"
@@ -108,6 +109,75 @@ Result<std::vector<ObjectSet>> HwmtSpanning(
 std::vector<Convoy> MergeSpanningConvoys(
     const std::vector<std::vector<ObjectSet>>& spanning,
     const std::vector<Timestamp>& benchmarks, int m);
+
+/// Incremental form of the DCM merge: feed the spanning convoys of one
+/// closed hop-window at a time, left to right. A merged spanning convoy is
+/// surfaced ("dies") the moment it fails to extend into the next window, so
+/// the online miner can hand it to extension without waiting for the rest
+/// of the stream. Feeding every window and then Finish() yields exactly the
+/// convoy set of MergeSpanningConvoys (which is implemented on top of this
+/// class): dominance between merged convoys can only occur between convoys
+/// dying at the same window — an earlier death can never be dominated by a
+/// later one, because an object set that dies at window w cannot have a
+/// superset still spanning w.
+class SpanningConvoyMerger {
+ public:
+  /// Object set -> earliest tick the set has been spanning since.
+  using StartMap = std::unordered_map<ObjectSet, Timestamp, ObjectSetHash>;
+
+  explicit SpanningConvoyMerger(int m) : m_(m) {}
+
+  /// Folds the window that starts at benchmark `window_start`; appends to
+  /// `*died` the merged spanning convoys (maximal among this window's
+  /// deaths) whose lifespan ends at `window_start`.
+  void AddWindow(Timestamp window_start, const std::vector<ObjectSet>& spanning,
+                 std::vector<Convoy>* died);
+
+  /// Ends the fold: appends every still-active convoy, closed at the final
+  /// benchmark point `last_benchmark`, to `*died`.
+  void Finish(Timestamp last_benchmark, std::vector<Convoy>* died);
+
+  size_t active_size() const { return active_.size(); }
+
+ private:
+  int m_;
+  StartMap active_;
+};
+
+/// Resumable tick-by-tick extension of one convoy (Algorithm 3 and its
+/// mirror — the inner loop of ExtendRight / ExtendLeft). `dir` = +1 walks
+/// from seed.end toward larger ticks, -1 from seed.start toward smaller
+/// ticks. Advance() consumes ticks up to a bound and may be called again
+/// with a larger bound as more final ticks become available (the online
+/// miner suspends right-walks at the ingest frontier and resumes them per
+/// appended tick). Branches whose objects stop clustering together are
+/// appended to `*completed` as finished convoys; Flush() closes the
+/// surviving branches at the dataset boundary.
+class ConvoyExtensionWalk {
+ public:
+  ConvoyExtensionWalk(const Convoy& seed, int dir);
+
+  bool done() const { return frontier_.empty(); }
+  /// The next tick Advance() will probe.
+  Timestamp next_tick() const { return next_t_; }
+  size_t num_branches() const { return frontier_.size(); }
+
+  /// Probes ticks from next_tick() through `upto` (inclusive, in walk
+  /// direction), stopping early once every branch has died.
+  Status Advance(Store* store, const MiningParams& params, Timestamp upto,
+                 std::vector<Convoy>* completed,
+                 SnapshotScratch* scratch = nullptr);
+
+  /// Closes every surviving branch at `limit` (the dataset boundary); the
+  /// walk is done() afterwards.
+  void Flush(Timestamp limit, std::vector<Convoy>* completed);
+
+ private:
+  int dir_;
+  Timestamp other_side_;  ///< fixed boundary on the non-walking side
+  Timestamp next_t_;
+  std::vector<ObjectSet> frontier_;  ///< live branches, sorted + unique
+};
 
 /// Algorithm 3 and its mirror: extends each convoy tick-by-tick until its
 /// objects stop clustering together; splits continue as smaller convoys.

@@ -1,0 +1,185 @@
+// Online / streaming k/2-hop mining. The batch miner (core/k2hop.h) assumes
+// the whole trajectory history is loaded before mining starts; an
+// operational store ingests movement data tick by tick instead. The
+// OnlineK2HopMiner accepts ticks append-only, routes them through the
+// store's Append path, and keeps the k/2-hop pipeline hot at the ingest
+// frontier:
+//
+//   * the ⌊k/2⌋ benchmark schedule is maintained incrementally — a
+//     benchmark snapshot is clustered the moment its tick becomes final;
+//   * each hop-window is mined (CandidateClusters + HwmtSpanning) the
+//     moment its right benchmark lands;
+//   * spanning convoys fold through a SpanningConvoyMerger; merged convoys
+//     that die start resumable right-extension walks (ConvoyExtensionWalk)
+//     which advance with the frontier and suspend when they catch up;
+//   * a walk that completes strictly before the frontier yields convoys
+//     whose left-extension and FC validation touch only final ticks, so
+//     they are computed eagerly and emitted as *closed* convoys.
+//
+// Finalize() ends the stream: it flushes the merge and the suspended walks
+// at the dataset boundary (their survivors are the *open*, still-alive
+// convoys) and then replays the batch pipeline's global maximality barriers
+// over the accumulated per-convoy results — reusing everything computed
+// eagerly — so the returned convoy set is IDENTICAL to running batch
+// MineK2Hop over the fully loaded store with the same parameters (asserted
+// by the streaming differential tests).
+#ifndef K2_CORE_ONLINE_H_
+#define K2_CORE_ONLINE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/running_stat.h"
+#include "core/k2hop.h"
+
+namespace k2 {
+
+struct OnlineK2HopOptions {
+  /// Same ablation switches as K2HopOptions; keep them equal to the batch
+  /// run being compared against.
+  bool hwmt_binary_order = true;
+  bool candidate_pruning = true;
+  bool validate = true;
+  /// Compute left-extension + FC validation eagerly whenever a right walk
+  /// completes, emitting closed convoys before Finalize(). With false, all
+  /// extension/validation work beyond the right walks is deferred to
+  /// Finalize() — the result is identical either way.
+  bool eager = true;
+  /// Invoked once per closed convoy as it is discovered (only when `eager`).
+  /// Closed convoys are final in all but one rare case: a convoy whose
+  /// lifespan ends later may subsume an earlier emission; Finalize()
+  /// resolves such dominance, so its result is the authoritative set.
+  std::function<void(const Convoy&)> on_closed;
+};
+
+struct OnlineK2HopStats {
+  /// Wall time per phase, same vocabulary as K2HopStats ("benchmark",
+  /// "candidates", "HWMT", "merge", "extend-right", "extend-left",
+  /// "validation") plus "ingest" for Store::Append.
+  PhaseTimer phases;
+  size_t ticks_ingested = 0;
+  uint64_t points_ingested = 0;
+  size_t empty_ticks = 0;  ///< AppendTick calls with no points (no-ops)
+  size_t benchmark_points = 0;
+  size_t hop_windows = 0;
+  size_t hop_windows_mined = 0;
+  size_t candidate_clusters = 0;
+  size_t spanning_convoys = 0;
+  size_t merged_convoys = 0;
+  size_t walks_started = 0;
+  size_t open_walks_peak = 0;  ///< most walks ever suspended at the frontier
+  size_t closed_convoys = 0;   ///< emitted through the eager channel
+  size_t open_convoys = 0;     ///< walk branches still alive at Finalize()
+  ValidationStats validation;
+  /// Per-AppendTick wall time (the amortized ingest+mine cost per tick).
+  RunningStat append_latency;
+  /// Store IO split by cause: Append calls vs. mining reads.
+  IoStats ingest_io;
+  IoStats mining_io;
+  uint64_t total_points = 0;  ///< rows ingested
+
+  uint64_t points_processed() const { return mining_io.points_read(); }
+  /// Fraction of the ingested data never touched by mining reads.
+  double pruning_ratio() const {
+    if (total_points == 0) return 0.0;
+    const double processed = static_cast<double>(points_processed());
+    return processed >= static_cast<double>(total_points)
+               ? 0.0
+               : 1.0 - processed / static_cast<double>(total_points);
+  }
+  std::string DebugString() const;
+};
+
+/// Incremental miner over an append-only store. Single-threaded; the store
+/// must be empty at construction and be mutated only through AppendTick for
+/// the lifetime of the miner (see the Store thread-safety contract).
+class OnlineK2HopMiner {
+ public:
+  /// `store` is borrowed and must outlive the miner.
+  OnlineK2HopMiner(Store* store, const MiningParams& params,
+                   OnlineK2HopOptions options = {});
+
+  /// Ingests the complete snapshot of tick `t` (all points observed at
+  /// `t`, any order; normalized internally). `t` must be strictly greater
+  /// than every previously appended tick; gaps are allowed and mean "no
+  /// object reported during those ticks". An empty `points` is a no-op.
+  /// Errors are sticky: once an append or a mining step fails, the miner
+  /// refuses further work.
+  Status AppendTick(Timestamp t, std::vector<SnapshotPoint> points);
+
+  /// Ends the stream and returns the complete convoy set — equal to batch
+  /// MineK2Hop over the same data and parameters. Idempotent; AppendTick
+  /// is rejected afterwards. Convoys still alive at the frontier ("open")
+  /// are closed at the final tick and included.
+  Result<std::vector<Convoy>> Finalize();
+
+  bool finalized() const { return final_result_.has_value(); }
+  /// Latest ingested tick, or kInvalidTimestamp before the first append.
+  Timestamp frontier() const { return frontier_; }
+  /// Right-extension walks currently suspended at the frontier.
+  size_t open_walks() const { return walks_.size(); }
+  /// Convoys emitted through the eager channel so far, in emission order.
+  const std::vector<Convoy>& closed_convoys() const { return closed_; }
+  const OnlineK2HopStats& stats() const { return stats_; }
+
+ private:
+  /// Clusters every due benchmark and advances the walks to the frontier.
+  Status Drain();
+  Status ProcessBenchmark(Timestamp b);
+  /// Mines the hop-window [b_left, b_right] and folds it into the merge.
+  Status CloseWindow(Timestamp b_left, Timestamp b_right,
+                     const std::vector<ObjectSet>& left,
+                     const std::vector<ObjectSet>& right);
+  Status AdvanceWalks(Timestamp upto);
+  /// Registers a completed right-extension result; when `eager`, computes
+  /// its left pieces and validated convoys and emits them as closed.
+  Status OnRightResult(Convoy r);
+  void Emit(const Convoy& closed);
+  /// Cached per-convoy tails of the pipeline (deterministic given the data
+  /// left of / inside the convoy, which is final).
+  Result<const std::vector<Convoy>*> LeftPieces(const Convoy& r);
+  Result<const std::vector<Convoy>*> ValidatedPieces(const Convoy& f);
+
+  /// Runs `fn`, charging its wall time to `phase` and its store IO to
+  /// stats_.mining_io.
+  Status Mined(const char* phase, const std::function<Status()>& fn);
+
+  Store* store_;
+  MiningParams params_;
+  OnlineK2HopOptions options_;
+  Timestamp hop_ = 1;
+
+  Status status_ = Status::OK();  ///< sticky failure state
+  Timestamp start_ = kInvalidTimestamp;
+  Timestamp frontier_ = kInvalidTimestamp;
+  Timestamp next_benchmark_ = kInvalidTimestamp;
+  Timestamp last_benchmark_ = kInvalidTimestamp;
+  bool have_prev_benchmark_ = false;
+  Timestamp prev_benchmark_ = kInvalidTimestamp;
+  std::vector<ObjectSet> prev_benchmark_clusters_;
+
+  SpanningConvoyMerger merger_;
+  std::vector<ConvoyExtensionWalk> walks_;
+  /// Deduplicated completed right-extension results, consumed by the
+  /// Finalize barriers.
+  std::set<Convoy> right_seen_;
+
+  std::map<Convoy, std::vector<Convoy>> left_cache_;
+  std::map<Convoy, std::vector<Convoy>> validate_cache_;
+
+  std::vector<Convoy> closed_;
+  std::set<Convoy> emitted_;
+
+  SnapshotScratch scratch_;
+  OnlineK2HopStats stats_;
+  bool finalizing_ = false;  ///< silences the eager channel during Finalize
+  std::optional<std::vector<Convoy>> final_result_;
+};
+
+}  // namespace k2
+
+#endif  // K2_CORE_ONLINE_H_

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -14,11 +15,22 @@ namespace {
 
 constexpr uint64_t kBinaryMagic = 0x6b32686f70646174ULL;  // "k2hopdat"
 
+/// Strips surrounding whitespace — in particular the '\r' that getline
+/// leaves on every line of a CRLF (Windows-exported) file, which used to
+/// make the header match fail ("y\r" != "y").
+std::string Trim(const std::string& s) {
+  const char* ws = " \t\r\n";
+  const size_t begin = s.find_first_not_of(ws);
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(ws);
+  return s.substr(begin, end - begin + 1);
+}
+
 std::vector<std::string> SplitComma(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   std::istringstream is(line);
-  while (std::getline(is, field, ',')) fields.push_back(field);
+  while (std::getline(is, field, ',')) fields.push_back(Trim(field));
   return fields;
 }
 
@@ -59,7 +71,7 @@ Result<Dataset> ReadCsv(const std::string& path) {
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
     const std::vector<std::string> fields = SplitComma(line);
     const size_t needed = static_cast<size_t>(
         std::max(std::max(col_t, col_oid), std::max(col_x, col_y)) + 1);
@@ -107,6 +119,19 @@ Result<Dataset> ReadBinary(const std::string& path) {
       magic != kBinaryMagic) {
     std::fclose(in);
     return Status::Invalid(path + ": not a k2hop binary dataset");
+  }
+  // Validate the header count against the actual file size before sizing
+  // the read buffer: a truncated or corrupt header would otherwise demand
+  // an arbitrarily large allocation.
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  constexpr uint64_t kHeaderBytes = 16;
+  if (ec || file_size < kHeaderBytes ||
+      count > (file_size - kHeaderBytes) / sizeof(PointRecord)) {
+    std::fclose(in);
+    return Status::Invalid(path + ": header claims " + std::to_string(count) +
+                           " records but the file has only " +
+                           std::to_string(file_size) + " bytes");
   }
   std::vector<PointRecord> records(count);
   if (count > 0 &&

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 namespace k2 {
 
@@ -36,6 +35,46 @@ Dataset Dataset::Restrict(const std::vector<ObjectId>& sorted_oids,
   return builder.Build();
 }
 
+Status Dataset::AppendSnapshot(Timestamp t,
+                               const std::vector<SnapshotPoint>& points) {
+  if (points.empty()) return Status::OK();
+  if (!records_.empty() && t <= time_range_.end) {
+    return Status::Invalid("AppendSnapshot tick " + std::to_string(t) +
+                           " is not past the dataset end " +
+                           std::to_string(time_range_.end));
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].oid <= points[i - 1].oid) {
+      return Status::Invalid(
+          "AppendSnapshot points must be sorted by oid and duplicate-free");
+    }
+  }
+  // The trailing extent entry (== records_.size()) becomes the start of the
+  // new tick's extent; a default-constructed dataset does not have it yet.
+  if (extents_.empty()) extents_.push_back(0);
+  timestamps_.push_back(t);
+  // No exact-size reserve here: push_back's geometric growth keeps a long
+  // append stream linear instead of reallocating the whole array per tick.
+  for (const SnapshotPoint& p : points) {
+    records_.push_back(PointRecord{t, p.oid, p.x, p.y});
+    object_ids_.insert(p.oid);
+  }
+  extents_.push_back(records_.size());
+  time_range_ = {timestamps_.front(), t};
+  return Status::OK();
+}
+
+std::vector<SnapshotPoint> SnapshotPoints(const Dataset& dataset,
+                                          Timestamp t) {
+  const auto snap = dataset.Snapshot(t);
+  std::vector<SnapshotPoint> points;
+  points.reserve(snap.size());
+  for (const PointRecord& rec : snap) {
+    points.push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+  }
+  return points;
+}
+
 std::string Dataset::DebugString() const {
   std::ostringstream os;
   os << "Dataset{points=" << num_points() << ", objects=" << num_objects()
@@ -54,17 +93,15 @@ Dataset DatasetBuilder::Build() {
   ds.records_ = std::move(rows_);
   rows_.clear();
 
-  std::unordered_set<ObjectId> object_ids;
   for (size_t i = 0; i < ds.records_.size(); ++i) {
     const PointRecord& rec = ds.records_[i];
     if (i == 0 || rec.t != ds.records_[i - 1].t) {
       ds.timestamps_.push_back(rec.t);
       ds.extents_.push_back(i);
     }
-    object_ids.insert(rec.oid);
+    ds.object_ids_.insert(rec.oid);
   }
   ds.extents_.push_back(ds.records_.size());
-  ds.num_objects_ = object_ids.size();
   if (!ds.records_.empty()) {
     ds.time_range_ = {ds.timestamps_.front(), ds.timestamps_.back()};
   }

@@ -7,13 +7,17 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace k2 {
 
-/// Immutable, time-ordered movement dataset.
+/// Time-ordered movement dataset. Immutable except for AppendSnapshot,
+/// which grows the dataset at the time frontier without disturbing any
+/// existing record (the streaming ingest path).
 class Dataset {
  public:
   Dataset() = default;
@@ -24,7 +28,7 @@ class Dataset {
   bool empty() const { return records_.empty(); }
 
   /// Number of distinct object ids.
-  size_t num_objects() const { return num_objects_; }
+  size_t num_objects() const { return object_ids_.size(); }
 
   /// Inclusive tick range covered by the data; empty range when no records.
   TimeRange time_range() const { return time_range_; }
@@ -43,6 +47,14 @@ class Dataset {
   Dataset Restrict(const std::vector<ObjectId>& sorted_oids,
                    TimeRange range) const;
 
+  /// Appends one complete snapshot at tick `t`, which must be strictly
+  /// greater than time_range().end; `points` must be sorted by oid and
+  /// duplicate-free. Empty snapshots are a no-op (a tick without data is
+  /// not part of the dataset). All invariants (extent directory, object
+  /// count, time range) are maintained incrementally.
+  Status AppendSnapshot(Timestamp t,
+                        const std::vector<SnapshotPoint>& points);
+
   /// One-line summary: points, objects, tick range.
   std::string DebugString() const;
 
@@ -54,9 +66,14 @@ class Dataset {
   // trailing entry equal to records_.size().
   std::vector<size_t> extents_;
   std::vector<Timestamp> timestamps_;
-  size_t num_objects_ = 0;
+  std::unordered_set<ObjectId> object_ids_;
   TimeRange time_range_{0, -1};
 };
+
+/// The snapshot of `dataset` at tick `t` as the oid-sorted SnapshotPoint
+/// vector Store::Append expects — the bridge from a materialized dataset to
+/// the streaming ingest path.
+std::vector<SnapshotPoint> SnapshotPoints(const Dataset& dataset, Timestamp t);
 
 /// Accumulates rows in any order and finalizes them into a Dataset.
 class DatasetBuilder {

@@ -9,8 +9,22 @@ BPlusTreeStore::BPlusTreeStore(std::string path, size_t buffer_pool_pages)
 
 Status BPlusTreeStore::BulkLoad(const Dataset& dataset) {
   K2_RETURN_NOT_OK(tree_.BuildFrom(dataset));
+  delta_ = Dataset();
   timestamps_ = dataset.timestamps();
-  time_range_ = dataset.time_range();
+  tree_range_ = dataset.time_range();
+  time_range_ = tree_range_;
+  io_stats_.Clear();
+  return Status::OK();
+}
+
+Status BPlusTreeStore::Append(Timestamp t,
+                              const std::vector<SnapshotPoint>& points) {
+  K2_RETURN_NOT_OK(CheckAppend(t, points));
+  if (points.empty()) return Status::OK();
+  K2_RETURN_NOT_OK(delta_.AppendSnapshot(t, points));
+  timestamps_.push_back(t);
+  if (time_range_.empty()) time_range_.start = t;
+  time_range_.end = t;
   return Status::OK();
 }
 
@@ -18,6 +32,16 @@ Status BPlusTreeStore::ScanTimestamp(Timestamp t,
                                      std::vector<SnapshotPoint>* out) {
   out->clear();
   ++io_stats_.snapshot_scans;
+  if (InDelta(t)) {
+    const auto snap = delta_.Snapshot(t);
+    out->reserve(snap.size());
+    for (const PointRecord& rec : snap) {
+      out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+    }
+    io_stats_.scanned_points += out->size();
+    io_stats_.bytes_read += snap.size_bytes();
+    return Status::OK();
+  }
   K2_RETURN_NOT_OK(tree_.ScanRange(
       MinKeyOf(t), MaxKeyOf(t), [&](uint64_t key, const BPTreeValue& v) {
         out->push_back(SnapshotPoint{KeyOid(key), v.x, v.y});
@@ -30,6 +54,17 @@ Status BPlusTreeStore::GetPoints(Timestamp t, const ObjectSet& objects,
                                  std::vector<SnapshotPoint>* out) {
   out->clear();
   io_stats_.point_queries += objects.size();
+  if (InDelta(t)) {
+    for (ObjectId oid : objects) {
+      const PointRecord* rec = delta_.Find(t, oid);
+      if (rec != nullptr) {
+        out->push_back(SnapshotPoint{oid, rec->x, rec->y});
+        io_stats_.bytes_read += sizeof(PointRecord);
+      }
+    }
+    io_stats_.point_hits += out->size();
+    return Status::OK();
+  }
   for (ObjectId oid : objects) {
     BPTreeValue v;
     bool found = false;

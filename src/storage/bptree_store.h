@@ -1,6 +1,12 @@
 // Relational-style store ("k2-RDBMS"): rows clustered in a disk B+-tree on
 // the composite key (t, oid). Snapshot scans are leaf-chain range scans;
 // point reads are index descents, mostly served from the buffer pool.
+//
+// The tree itself is bulk-built and read-only; Append() lands in an
+// in-memory delta of strictly-newer ticks (the write-optimized side of a
+// read-optimized base, as in any delta-main design). Because appends are
+// time-ordered, base and delta never share a tick, so each read is served
+// entirely by one side.
 #ifndef K2_STORAGE_BPTREE_STORE_H_
 #define K2_STORAGE_BPTREE_STORE_H_
 
@@ -20,6 +26,7 @@ class BPlusTreeStore final : public Store {
 
   std::string name() const override { return "rdbms"; }
   Status BulkLoad(const Dataset& dataset) override;
+  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override;
@@ -27,14 +34,26 @@ class BPlusTreeStore final : public Store {
   const std::vector<Timestamp>& timestamps() const override {
     return timestamps_;
   }
-  uint64_t num_points() const override { return tree_.num_records(); }
+  uint64_t num_points() const override {
+    return tree_.num_records() + delta_.num_points();
+  }
 
   BPlusTree& tree() { return tree_; }
+  /// Appended rows not yet in the tree.
+  uint64_t delta_points() const { return delta_.num_points(); }
 
  private:
+  /// True when tick `t` can only live in the delta (it is newer than
+  /// everything that was bulk-loaded into the tree).
+  bool InDelta(Timestamp t) const {
+    return tree_.num_records() == 0 || t > tree_range_.end;
+  }
+
   BPlusTree tree_;
+  Dataset delta_;
   std::vector<Timestamp> timestamps_;
-  TimeRange time_range_{0, -1};
+  TimeRange tree_range_{0, -1};  ///< tick range covered by the tree
+  TimeRange time_range_{0, -1};  ///< tree plus delta
 };
 
 }  // namespace k2

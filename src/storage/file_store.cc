@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 
 namespace k2 {
 
@@ -13,12 +14,17 @@ FileStore::FileStore(std::string path) : path_(std::move(path)) {}
 
 FileStore::~FileStore() {
   if (file_ != nullptr) std::fclose(file_);
+  if (append_file_ != nullptr) std::fclose(append_file_);
 }
 
 Status FileStore::BulkLoad(const Dataset& dataset) {
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
+  }
+  if (append_file_ != nullptr) {
+    std::fclose(append_file_);
+    append_file_ = nullptr;
   }
   std::FILE* out = std::fopen(path_.c_str(), "wb");
   if (out == nullptr) {
@@ -51,6 +57,63 @@ Status FileStore::BulkLoad(const Dataset& dataset) {
   }
   num_points_ = records.size();
   time_range_ = dataset.time_range();
+  io_stats_.Clear();
+  return Status::OK();
+}
+
+Status FileStore::Append(Timestamp t,
+                         const std::vector<SnapshotPoint>& points) {
+  K2_RETURN_NOT_OK(CheckAppend(t, points));
+  if (points.empty()) return Status::OK();
+  // The write handle persists across ticks (one open, not one per append).
+  // Its first open truncates ("wb") so a stale file surviving at path_ from
+  // an earlier run cannot shift the extent directory off its physical
+  // offsets; reopens after a rollback append ("ab"). The separate write
+  // handle is safe with the buffered read handle because every read seeks
+  // first (ReadRows).
+  if (append_file_ == nullptr) {
+    append_file_ = std::fopen(path_.c_str(), num_points_ == 0 ? "wb" : "ab");
+    if (append_file_ == nullptr) {
+      return Status::IOError("cannot append to " + path_ + ": " +
+                             std::strerror(errno));
+    }
+  }
+  std::vector<PointRecord> rows;
+  rows.reserve(points.size());
+  for (const SnapshotPoint& p : points) {
+    rows.push_back(PointRecord{t, p.oid, p.x, p.y});
+  }
+  const bool ok =
+      std::fwrite(rows.data(), sizeof(PointRecord), rows.size(),
+                  append_file_) == rows.size() &&
+      std::fflush(append_file_) == 0;
+  if (!ok) {
+    // Roll the file back to the last consistent tick boundary; otherwise
+    // the orphaned rows would shift every later extent off its physical
+    // offset and reads would return misaligned records.
+    std::fclose(append_file_);
+    append_file_ = nullptr;
+    std::error_code ec;
+    std::filesystem::resize_file(path_, num_points_ * sizeof(PointRecord), ec);
+    return Status::IOError("short append to " + path_);
+  }
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) {
+      std::fclose(append_file_);
+      append_file_ = nullptr;
+      std::error_code ec;
+      std::filesystem::resize_file(path_, num_points_ * sizeof(PointRecord),
+                                   ec);
+      return Status::IOError("cannot open " + path_ + " for reading: " +
+                             std::strerror(errno));
+    }
+  }
+  timestamps_.push_back(t);
+  extents_.push_back(Extent{num_points_, rows.size()});
+  if (num_points_ == 0) time_range_.start = t;
+  time_range_.end = t;
+  num_points_ += rows.size();
   return Status::OK();
 }
 

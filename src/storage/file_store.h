@@ -25,6 +25,7 @@ class FileStore final : public Store {
 
   std::string name() const override { return "file"; }
   Status BulkLoad(const Dataset& dataset) override;
+  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override;
@@ -47,7 +48,8 @@ class FileStore final : public Store {
   Status ReadRows(uint64_t row_offset, uint64_t count);
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ = nullptr;         ///< read handle (seeks before reads)
+  std::FILE* append_file_ = nullptr;  ///< persistent write handle for Append
   std::vector<Timestamp> timestamps_;
   std::vector<Extent> extents_;  // parallel to timestamps_
   std::vector<PointRecord> scratch_;

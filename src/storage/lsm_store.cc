@@ -24,10 +24,24 @@ std::string LsmStore::NextTablePath() {
 
 Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
   memtable_.Put(MakeKey(t, oid), LsmValue{x, y});
-  tick_set_.insert(t);
-  tick_cache_dirty_ = true;
+  // Keep the flat tick list sorted and unique as ticks arrive; time-ordered
+  // ingest hits the cheap push_back path.
+  if (tick_cache_.empty() || t > tick_cache_.back()) {
+    tick_cache_.push_back(t);
+  } else {
+    auto it = std::lower_bound(tick_cache_.begin(), tick_cache_.end(), t);
+    if (it == tick_cache_.end() || *it != t) tick_cache_.insert(it, t);
+  }
   ++num_points_;
   return MaybeFlush();
+}
+
+Status LsmStore::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
+  K2_RETURN_NOT_OK(CheckAppend(t, points));
+  for (const SnapshotPoint& p : points) {
+    K2_RETURN_NOT_OK(Put(t, p.oid, p.x, p.y));
+  }
+  return Status::OK();
 }
 
 Status LsmStore::BulkLoad(const Dataset& dataset) {
@@ -38,8 +52,7 @@ Status LsmStore::BulkLoad(const Dataset& dataset) {
   }
   tiers_.clear();
   flat_newest_first_.clear();
-  tick_set_.clear();
-  tick_cache_dirty_ = true;
+  tick_cache_.clear();
   num_points_ = 0;
 
   // Route every row through the write path so that flushes and compactions
@@ -50,6 +63,10 @@ Status LsmStore::BulkLoad(const Dataset& dataset) {
   }
   K2_RETURN_NOT_OK(Flush());
   num_points_ = dataset.num_points();
+  // Loading routed every row through Put, so flush/compaction IO landed in
+  // io_stats_ — reset, or the first mining run's pruning_ratio() would be
+  // polluted by ingest reads (Table 5 numbers).
+  io_stats_.Clear();
   return Status::OK();
 }
 
@@ -206,15 +223,11 @@ Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
 }
 
 TimeRange LsmStore::time_range() const {
-  if (tick_set_.empty()) return TimeRange{0, -1};
-  return TimeRange{*tick_set_.begin(), *tick_set_.rbegin()};
+  if (tick_cache_.empty()) return TimeRange{0, -1};
+  return TimeRange{tick_cache_.front(), tick_cache_.back()};
 }
 
 const std::vector<Timestamp>& LsmStore::timestamps() const {
-  if (tick_cache_dirty_) {
-    tick_cache_.assign(tick_set_.begin(), tick_set_.end());
-    tick_cache_dirty_ = false;
-  }
   return tick_cache_;
 }
 

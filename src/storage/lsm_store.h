@@ -7,7 +7,6 @@
 #define K2_STORAGE_LSM_STORE_H_
 
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +34,7 @@ class LsmStore final : public Store {
 
   std::string name() const override { return "lsmt"; }
   Status BulkLoad(const Dataset& dataset) override;
+  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override;
@@ -77,9 +77,12 @@ class LsmStore final : public Store {
   uint64_t num_points_ = 0;
   uint64_t compactions_run_ = 0;
 
-  std::set<Timestamp> tick_set_;
-  mutable std::vector<Timestamp> tick_cache_;
-  mutable bool tick_cache_dirty_ = true;
+  /// Sorted, duplicate-free tick list, maintained eagerly on mutation
+  /// (Put/BulkLoad) so the const read path never writes shared state —
+  /// timestamps() used to rebuild a cache lazily inside a const method, a
+  /// data race under the parallel mining pipeline's concurrent metadata
+  /// reads.
+  std::vector<Timestamp> tick_cache_;
 };
 
 }  // namespace k2

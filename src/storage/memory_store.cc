@@ -6,7 +6,14 @@ MemoryStore::MemoryStore(Dataset dataset) : dataset_(std::move(dataset)) {}
 
 Status MemoryStore::BulkLoad(const Dataset& dataset) {
   dataset_ = dataset;
+  io_stats_.Clear();
   return Status::OK();
+}
+
+Status MemoryStore::Append(Timestamp t,
+                           const std::vector<SnapshotPoint>& points) {
+  K2_RETURN_NOT_OK(CheckAppend(t, points));
+  return dataset_.AppendSnapshot(t, points);
 }
 
 Status MemoryStore::ScanTimestamp(Timestamp t,

@@ -19,6 +19,7 @@ class MemoryStore final : public Store {
 
   std::string name() const override { return "memory"; }
   Status BulkLoad(const Dataset& dataset) override;
+  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override;

@@ -37,6 +37,41 @@ IoStats IoStats::Delta(const IoStats& after, const IoStats& before) {
   return d;
 }
 
+void IoStats::Accumulate(const IoStats& other) {
+  snapshot_scans += other.snapshot_scans;
+  scanned_points += other.scanned_points;
+  point_queries += other.point_queries;
+  point_hits += other.point_hits;
+  bytes_read += other.bytes_read;
+  seeks += other.seeks;
+  pages_read += other.pages_read;
+  pages_cached += other.pages_cached;
+  bloom_negative += other.bloom_negative;
+  sstables_touched += other.sstables_touched;
+}
+
+Status Store::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
+  (void)t;
+  (void)points;
+  return Status::NotImplemented("Append is not supported by " + name());
+}
+
+Status Store::CheckAppend(Timestamp t,
+                          const std::vector<SnapshotPoint>& points) const {
+  if (num_points() > 0 && t <= time_range().end) {
+    return Status::Invalid("Append tick " + std::to_string(t) +
+                           " is not past the stored range end " +
+                           std::to_string(time_range().end));
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].oid <= points[i - 1].oid) {
+      return Status::Invalid(
+          "Append points must be sorted by oid and duplicate-free");
+    }
+  }
+  return Status::OK();
+}
+
 const char* StoreKindName(StoreKind kind) {
   switch (kind) {
     case StoreKind::kMemory:

@@ -40,9 +40,22 @@ struct IoStats {
   /// Component-wise difference (after - before), for measuring the IO cost
   /// of one mining run.
   static IoStats Delta(const IoStats& after, const IoStats& before);
+
+  /// Component-wise sum, for folding per-phase deltas into a total (the
+  /// online miner attributes ingest and mining IO separately this way).
+  void Accumulate(const IoStats& other);
 };
 
 /// Abstract trajectory store keyed by the composite clustered key (t, oid).
+///
+/// Thread-safety contract: stores are single-writer, and reads are NOT
+/// internally synchronized — concurrent readers (the parallel mining
+/// pipeline) must serialize every access through one external mutex (see
+/// `store_mu` in cluster/store_clustering.h). In return, no const accessor
+/// (`time_range`, `timestamps`, `num_points`) mutates internal state, so
+/// const snapshots of the metadata may be taken without the store lock as
+/// long as no writer is active. Writers (`BulkLoad`, `Append`) must have
+/// exclusive access.
 class Store {
  public:
   virtual ~Store() = default;
@@ -51,8 +64,18 @@ class Store {
   virtual std::string name() const = 0;
 
   /// Replaces the store content with `dataset` (records already in
-  /// (t, oid) order). Called once before mining.
+  /// (t, oid) order). Called once before mining. Resets io_stats() on
+  /// completion, so load-time flush/compaction IO never pollutes the first
+  /// mining run's counters.
   virtual Status BulkLoad(const Dataset& dataset) = 0;
+
+  /// Appends one complete tick of data: all points of tick `t`, which must
+  /// be strictly greater than every tick already stored (movement data
+  /// arrives in time order). `points` must be sorted by oid and
+  /// duplicate-free; an empty `points` is a no-op. Unlike BulkLoad, Append
+  /// does NOT reset io_stats(): ingestion cost is part of the streaming
+  /// workload and stays observable.
+  virtual Status Append(Timestamp t, const std::vector<SnapshotPoint>& points);
 
   /// Fetches all points at tick `t` into `*out` (cleared first), in oid
   /// order. A tick without data yields an empty result and OK status.
@@ -77,6 +100,11 @@ class Store {
   const IoStats& io_stats() const { return io_stats_; }
 
  protected:
+  /// Shared Append precondition check: `t` past the stored range, `points`
+  /// sorted by oid and duplicate-free.
+  Status CheckAppend(Timestamp t,
+                     const std::vector<SnapshotPoint>& points) const;
+
   IoStats io_stats_;
 };
 

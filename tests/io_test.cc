@@ -37,6 +37,54 @@ TEST(CsvTest, HeaderColumnOrderIsFlexible) {
   EXPECT_DOUBLE_EQ(rec->x, 1.0);
 }
 
+TEST(CsvTest, CrlfFileParses) {
+  // Windows-exported CSVs end every line with \r\n; the header match used
+  // to reject them because the last column name kept its '\r'.
+  const std::string path = ScratchDir("csv_crlf") + "/data.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "t,oid,x,y\r\n0,1,1.5,-2.25\r\n0,2,3.0,4.0\r\n7,1,0.125,9.0\r\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  const Dataset expected =
+      MakeDataset({{0, 1, 1.5, -2.25}, {0, 2, 3.0, 4.0}, {7, 1, 0.125, 9.0}});
+  EXPECT_EQ(ds.value().records(), expected.records());
+}
+
+TEST(CsvTest, CrlfRoundTrip) {
+  // Write with WriteCsv, convert to CRLF line endings, read back.
+  const Dataset ds =
+      MakeDataset({{0, 1, 1.5, -2.25}, {0, 2, 3.0, 4.0}, {7, 1, 0.125, 9.0}});
+  const std::string dir = ScratchDir("csv_crlf_rt");
+  const std::string unix_path = dir + "/unix.csv";
+  const std::string dos_path = dir + "/dos.csv";
+  ASSERT_TRUE(WriteCsv(ds, unix_path).ok());
+  {
+    std::ifstream in(unix_path);
+    std::ofstream out(dos_path, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) out << line << "\r\n";
+  }
+  auto back = ReadCsv(dos_path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().records(), ds.records());
+}
+
+TEST(CsvTest, WhitespacePaddedFieldsParse) {
+  const std::string path = ScratchDir("csv_ws") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << " t , oid , x , y \n 3 , 7 , 1.0 , 2.0 \n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds.value().num_points(), 1u);
+  const PointRecord* rec = ds.value().Find(3, 7);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->y, 2.0);
+}
+
 TEST(CsvTest, MissingColumnIsError) {
   const std::string path = ScratchDir("csv_missing") + "/data.csv";
   {
@@ -92,6 +140,39 @@ TEST(BinaryTest, RejectsForeignFile) {
     out << "this is not a k2hop dataset";
   }
   EXPECT_FALSE(ReadBinary(path).ok());
+}
+
+TEST(BinaryTest, RejectsHeaderCountLargerThanFile) {
+  // A header claiming a huge record count must be rejected by validating
+  // against the file size — not by attempting a multi-GB allocation.
+  const std::string path = ScratchDir("bin_huge") + "/huge.bin";
+  {
+    const uint64_t magic = 0x6b32686f70646174ULL;  // "k2hopdat"
+    const uint64_t count = 1ULL << 50;              // ~27 PB of records
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&count), 8);
+  }
+  auto ds = ReadBinary(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalid);
+}
+
+TEST(BinaryTest, RejectsTruncatedPayload) {
+  // Valid header for 100 records, but only one record of payload.
+  const std::string path = ScratchDir("bin_trunc") + "/trunc.bin";
+  {
+    const uint64_t magic = 0x6b32686f70646174ULL;
+    const uint64_t count = 100;
+    const PointRecord rec{1, 2, 3.0, 4.0};
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&count), 8);
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  auto ds = ReadBinary(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalid);
 }
 
 }  // namespace

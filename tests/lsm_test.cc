@@ -260,6 +260,21 @@ TEST(LsmStoreTest, TimestampsTrackInserts) {
   EXPECT_EQ(store.time_range(), (TimeRange{2, 5}));
 }
 
+TEST(LsmStoreTest, TimestampsStaySortedUnderOutOfOrderPuts) {
+  // The tick list is maintained eagerly on Put (timestamps() used to
+  // rebuild it lazily inside a const method — a data race under concurrent
+  // metadata reads), so it must stay correct for any insertion order.
+  LsmStore store(ScratchDir("lsm_ticks"));
+  for (Timestamp t : {5, 3, 9, 3, 7, 1, 9}) {
+    ASSERT_TRUE(store.Put(t, 1, 0.0, 0.0).ok());
+  }
+  EXPECT_EQ(store.timestamps(), (std::vector<Timestamp>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(store.time_range(), (TimeRange{1, 9}));
+  // timestamps() on a const ref must not mutate anything.
+  const LsmStore& cref = store;
+  EXPECT_EQ(cref.timestamps().size(), 5u);
+}
+
 TEST(LsmStoreTest, BloomAblationStillCorrect) {
   LsmStore::Options options;
   options.use_bloom = false;

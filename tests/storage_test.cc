@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "gen/synthetic.h"
+#include "storage/file_store.h"
 #include "storage/store.h"
 #include "tests/test_util.h"
 
@@ -145,6 +148,122 @@ TEST_P(StoreConformanceTest, NegativeTimestamps) {
   ASSERT_TRUE(store->GetPoints(-10, ObjectSet::Of({1}), &out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].x, 1.0);
+}
+
+TEST_P(StoreConformanceTest, BulkLoadResetsIoStats) {
+  // Loading may flush/compact (LSM) or write pages; none of that may leak
+  // into the first mining run's counters (Table 5 pruning numbers).
+  auto store = Make("loadstats");
+  RandomWalkSpec spec;
+  spec.num_objects = 20;
+  spec.num_ticks = 30;
+  spec.seed = 5;
+  ASSERT_TRUE(store->BulkLoad(GenerateRandomWalk(spec)).ok());
+  const IoStats& stats = store->io_stats();
+  EXPECT_EQ(stats.points_read(), 0u);
+  EXPECT_EQ(stats.snapshot_scans, 0u);
+  EXPECT_EQ(stats.point_queries, 0u);
+  EXPECT_EQ(stats.bytes_read, 0u);
+  EXPECT_EQ(stats.seeks, 0u);
+  EXPECT_EQ(stats.pages_read, 0u);
+  EXPECT_EQ(stats.pages_cached, 0u);
+
+  // Reloading after queries resets again.
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(0, &out).ok());
+  EXPECT_GT(store->io_stats().snapshot_scans, 0u);
+  ASSERT_TRUE(store->BulkLoad(GenerateRandomWalk(spec)).ok());
+  EXPECT_EQ(store->io_stats().snapshot_scans, 0u);
+  EXPECT_EQ(store->io_stats().points_read(), 0u);
+}
+
+TEST_P(StoreConformanceTest, AppendedStoreMatchesBulkLoadedStore) {
+  RandomWalkSpec spec;
+  spec.num_objects = 18;
+  spec.num_ticks = 25;
+  spec.seed = 11;
+  const Dataset ds = GenerateRandomWalk(spec);
+
+  auto bulk = Make("append_bulk");
+  ASSERT_TRUE(bulk->BulkLoad(ds).ok());
+
+  auto appended = Make("append_inc");
+  for (Timestamp t : ds.timestamps()) {
+    ASSERT_TRUE(appended->Append(t, ::k2::SnapshotPoints(ds, t)).ok())
+        << "tick " << t;
+  }
+
+  EXPECT_EQ(appended->num_points(), bulk->num_points());
+  EXPECT_EQ(appended->time_range(), bulk->time_range());
+  EXPECT_EQ(appended->timestamps(), bulk->timestamps());
+  std::vector<SnapshotPoint> got, want;
+  const ObjectSet probe = ObjectSet::Of({0, 2, 5, 9, 17, 40});
+  for (Timestamp t = -1; t <= 26; ++t) {
+    ASSERT_TRUE(appended->ScanTimestamp(t, &got).ok());
+    ASSERT_TRUE(bulk->ScanTimestamp(t, &want).ok());
+    EXPECT_EQ(got, want) << "scan tick " << t;
+    ASSERT_TRUE(appended->GetPoints(t, probe, &got).ok());
+    ASSERT_TRUE(bulk->GetPoints(t, probe, &want).ok());
+    EXPECT_EQ(got, want) << "point reads tick " << t;
+  }
+}
+
+TEST_P(StoreConformanceTest, AppendAfterBulkLoadExtendsTheStore) {
+  auto store = Make("append_mixed");
+  ASSERT_TRUE(
+      store->BulkLoad(MakeDataset({{0, 1, 1, 0}, {1, 1, 2, 0}})).ok());
+  ASSERT_TRUE(store->Append(3, {{1, 3.0, 0.0}, {2, 4.0, 0.0}}).ok());
+  ASSERT_TRUE(store->Append(4, {{2, 5.0, 0.0}}).ok());
+  EXPECT_EQ(store->num_points(), 5u);
+  EXPECT_EQ(store->time_range(), (TimeRange{0, 4}));
+  EXPECT_EQ(store->timestamps(), (std::vector<Timestamp>{0, 1, 3, 4}));
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store->ScanTimestamp(3, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].oid, 1u);
+  EXPECT_DOUBLE_EQ(out[1].x, 4.0);
+  ASSERT_TRUE(store->GetPoints(4, ObjectSet::Of({1, 2}), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].oid, 2u);
+  // The bulk-loaded half still reads fine.
+  ASSERT_TRUE(store->ScanTimestamp(1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 2.0);
+}
+
+TEST_P(StoreConformanceTest, AppendValidatesItsPreconditions) {
+  auto store = Make("append_bad");
+  ASSERT_TRUE(store->Append(5, {{1, 1.0, 0.0}}).ok());
+  // Not past the stored range.
+  EXPECT_EQ(store->Append(5, {{2, 1.0, 0.0}}).code(), StatusCode::kInvalid);
+  EXPECT_EQ(store->Append(4, {{2, 1.0, 0.0}}).code(), StatusCode::kInvalid);
+  // Unsorted / duplicate oids.
+  EXPECT_EQ(store->Append(6, {{3, 1.0, 0.0}, {2, 1.0, 0.0}}).code(),
+            StatusCode::kInvalid);
+  EXPECT_EQ(store->Append(6, {{2, 1.0, 0.0}, {2, 2.0, 0.0}}).code(),
+            StatusCode::kInvalid);
+  // Empty appends are no-ops.
+  ASSERT_TRUE(store->Append(7, {}).ok());
+  EXPECT_EQ(store->num_points(), 1u);
+  EXPECT_EQ(store->time_range(), (TimeRange{5, 5}));
+}
+
+TEST(FileStoreTest, FirstAppendTruncatesAStaleFile) {
+  // A leftover data file from a crashed earlier run must not shift the
+  // extent directory off its physical offsets.
+  const std::string path = ScratchDir("file_stale") + "/data.bin";
+  {
+    std::ofstream stale(path, std::ios::binary);
+    stale << "stale bytes from a previous run";
+  }
+  FileStore store(path);
+  ASSERT_TRUE(store.Append(0, {{7, 1.5, 2.5}}).ok());
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store.ScanTimestamp(0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].oid, 7u);
+  EXPECT_DOUBLE_EQ(out[0].x, 1.5);
+  EXPECT_EQ(store.file_size_bytes(), sizeof(PointRecord));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, StoreConformanceTest,
