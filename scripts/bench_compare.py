@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Bench regression guard: diffs a fresh bench snapshot against a baseline.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--tolerance X] [--min-ms Y]
+
+Both files are bench_snapshot.sh outputs. Records are matched by
+(bench, miner, store, m, k, eps) plus occurrence index (some benches emit
+several records under one key, in deterministic order). The guard fails —
+exit 1 — when:
+
+  * the two snapshots were taken at different K2_BENCH_SCALEs
+    (wall times and convoy counts are only comparable at equal scale);
+  * a baseline record has no match in the fresh snapshot;
+  * convoy counts differ (mining output is deterministic at equal scale:
+    any drift is a correctness bug, no tolerance);
+  * a record's wall time exceeds baseline * tolerance (default 2.0,
+    override with --tolerance or K2_BENCH_TIME_TOL), ignoring records
+    where both sides are under --min-ms (default 5 ms, pure noise).
+
+Records only present in the fresh snapshot (newly added benches) and large
+speedups are reported but never fail the guard — regenerate and commit the
+snapshot to make them the new baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def keyed(records):
+    """Maps (bench, miner, store, m, k, eps, occurrence) -> record."""
+    counts = defaultdict(int)
+    out = {}
+    for rec in records:
+        p = rec.get("params", {})
+        base = (rec.get("bench"), rec.get("miner"), rec.get("store"),
+                p.get("m"), p.get("k"), p.get("eps"))
+        out[base + (counts[base],)] = rec
+        counts[base] += 1
+    return out
+
+
+def fmt_key(key):
+    bench, miner, store, m, k, eps, occ = key
+    tag = f"{bench}/{miner}/{store} m={m} k={k} eps={eps}"
+    return tag if occ == 0 else f"{tag} #{occ + 1}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("K2_BENCH_TIME_TOL", "2.0")),
+        help="max allowed wall-time ratio fresh/baseline (default 2.0)")
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=5.0,
+        help="skip wall-time checks when both sides are below this (ms)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    notes = []
+
+    if baseline.get("scale") != fresh.get("scale"):
+        failures.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs fresh "
+            f"{fresh.get('scale')} — run bench_snapshot.sh at the baseline's "
+            "K2_BENCH_SCALE")
+
+    base_records = keyed(baseline.get("records", []))
+    fresh_records = keyed(fresh.get("records", []))
+
+    for key, base in sorted(base_records.items(), key=lambda kv: fmt_key(kv[0])):
+        tag = fmt_key(key)
+        live = fresh_records.get(key)
+        if live is None:
+            failures.append(f"{tag}: record missing from fresh snapshot")
+            continue
+        if base.get("convoys") != live.get("convoys"):
+            failures.append(
+                f"{tag}: convoy count drifted {base.get('convoys')} -> "
+                f"{live.get('convoys')} (must be exact)")
+        base_ms = float(base.get("wall_ms", 0.0))
+        live_ms = float(live.get("wall_ms", 0.0))
+        if base_ms < args.min_ms and live_ms < args.min_ms:
+            continue
+        if live_ms > base_ms * args.tolerance:
+            failures.append(
+                f"{tag}: wall time {base_ms:.1f} ms -> {live_ms:.1f} ms "
+                f"({live_ms / max(base_ms, 1e-9):.2f}x > "
+                f"{args.tolerance:.1f}x tolerance)")
+        elif base_ms > live_ms * args.tolerance:
+            notes.append(
+                f"{tag}: {live_ms / max(base_ms, 1e-9):.2f}x of baseline "
+                f"({base_ms:.1f} -> {live_ms:.1f} ms) — consider committing "
+                "a fresh snapshot")
+
+    for key in sorted(set(fresh_records) - set(base_records), key=fmt_key):
+        notes.append(f"{fmt_key(key)}: new record (not in baseline)")
+
+    checked = len(base_records)
+    print(f"bench_compare: {checked} baseline records, "
+          f"{len(failures)} failure(s), {len(notes)} note(s); "
+          f"tolerance {args.tolerance:.1f}x, floor {args.min_ms:.1f} ms")
+    for note in notes:
+        print(f"  note: {note}")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

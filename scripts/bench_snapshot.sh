@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the perf-snapshot benches (Fig. 8i phase breakdown, Fig. 8l
-# scalability, streaming ingest) in --json mode and merges their records
-# into one snapshot file, so MineK2Hop's end-to-end wall time and the
-# online miner's amortized per-tick cost are tracked PR over PR.
+# scalability, streaming ingest, partitioned shard sweep) in --json mode and
+# merges their records into one snapshot file, so MineK2Hop's end-to-end
+# wall time, the online miner's amortized per-tick cost, and the sharded
+# miner's seam behaviour are tracked PR over PR.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   BUILD_DIR       build tree with the bench binaries (default: build)
@@ -14,7 +15,8 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_k2hop.json}
 SCALE=${K2_BENCH_SCALE:-1}
 
-for bench in bench_fig8i_phases bench_fig8l_scalability bench_streaming; do
+for bench in bench_fig8i_phases bench_fig8l_scalability bench_streaming \
+             bench_partitioned; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not found; build with -DK2_BUILD_BENCH=ON" >&2
     exit 1
@@ -27,8 +29,9 @@ trap 'rm -rf "$tmp"' EXIT
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_fig8i_phases" --json "$tmp/fig8i.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_fig8l_scalability" --json "$tmp/fig8l.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_streaming" --json "$tmp/streaming.json"
+K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_partitioned" --json "$tmp/partitioned.json"
 
-python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json <<'EOF'
+python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json "$tmp"/partitioned.json <<'EOF'
 import datetime
 import json
 import platform

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # CI sequence: configure + build everything + smoke-tier ctest.
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+# When ccache is installed it is used automatically (the CI jobs cache its
+# directory across runs, so GoogleTest and the benches stop rebuilding from
+# scratch on every push).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"

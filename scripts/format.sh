@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs clang-format over every C++ file. Pass --check to fail on diffs
-# (CI-friendly) instead of rewriting in place.
+# (the CI format gate) instead of rewriting in place. Set CLANG_FORMAT to
+# pin a specific binary (e.g. CLANG_FORMAT=clang-format-18).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
 MODE="-i"
 if [[ "${1:-}" == "--check" ]]; then
   MODE="--dry-run -Werror"
@@ -11,4 +13,4 @@ fi
 
 find src tests bench examples \
   \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
-  xargs -0 clang-format $MODE
+  xargs -0 "$CLANG_FORMAT" $MODE

@@ -243,6 +243,91 @@ Result<std::vector<Convoy>> ExtendLeft(Store* store, const MiningParams& params,
   return ExtendDirected(store, params, std::move(convoys), dataset_start, -1);
 }
 
+Status MineHopWindows(Store* store, const MiningParams& params,
+                      std::span<const Timestamp> benchmarks,
+                      const K2HopOptions& options,
+                      std::vector<std::vector<ObjectSet>>* spanning,
+                      HopWindowPipelineStats* stats, ThreadPool* pool,
+                      std::mutex* store_mu,
+                      std::vector<SnapshotScratch>* scratches) {
+  HopWindowPipelineStats local_stats;
+  HopWindowPipelineStats* s = stats != nullptr ? stats : &local_stats;
+  std::vector<SnapshotScratch> local_scratches;
+  if (scratches == nullptr) {
+    local_scratches.resize(pool != nullptr ? pool->num_workers() + 1 : 1);
+    scratches = &local_scratches;
+  }
+
+  // Runs fn(slot, i) for i in [0, n): on the pool when present, inline
+  // otherwise. Statuses are collected per item; the first failure wins.
+  auto for_each_indexed =
+      [&](size_t n,
+          const std::function<Status(size_t, size_t)>& fn) -> Status {
+    if (pool == nullptr) {
+      for (size_t i = 0; i < n; ++i) K2_RETURN_NOT_OK(fn(0, i));
+      return Status::OK();
+    }
+    std::vector<Status> statuses(n);
+    pool->ParallelFor(n, [&](size_t slot, size_t i) {
+      statuses[i] = fn(slot, i);
+    });
+    for (Status& status : statuses) K2_RETURN_NOT_OK(status);
+    return Status::OK();
+  };
+
+  // Step 1: cluster the benchmark points, concurrently across points.
+  Stopwatch sw;
+  s->benchmark_points = benchmarks.size();
+  std::vector<std::vector<ObjectSet>> benchmark_clusters(benchmarks.size());
+  K2_RETURN_NOT_OK(
+      for_each_indexed(benchmarks.size(), [&](size_t slot, size_t i) {
+        auto result = ClusterSnapshot(store, benchmarks[i], params,
+                                      &(*scratches)[slot], store_mu);
+        K2_RETURN_NOT_OK(result.status());
+        benchmark_clusters[i] = result.MoveValue();
+        return Status::OK();
+      }));
+  s->phases.Add("benchmark", sw.ElapsedSeconds());
+
+  // Step 2: candidate clusters per hop-window.
+  sw.Restart();
+  const size_t num_windows =
+      benchmarks.empty() ? 0 : benchmarks.size() - 1;
+  s->hop_windows = num_windows;
+  std::vector<std::vector<ObjectSet>> candidates(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    if (options.candidate_pruning) {
+      candidates[w] = CandidateClusters(benchmark_clusters[w],
+                                        benchmark_clusters[w + 1], params.m);
+    } else {
+      candidates[w] = benchmark_clusters[w];  // ablation: no intersection
+    }
+    s->candidate_clusters += candidates[w].size();
+    if (!candidates[w].empty()) ++s->hop_windows_mined;
+  }
+  s->phases.Add("candidates", sw.ElapsedSeconds());
+
+  // Step 3: HWMT inside each window, concurrently across windows.
+  sw.Restart();
+  spanning->assign(num_windows, {});
+  K2_RETURN_NOT_OK(for_each_indexed(num_windows, [&](size_t slot, size_t w) {
+    if (candidates[w].empty()) return Status::OK();
+    auto result =
+        HwmtSpanning(store, params, benchmarks[w], benchmarks[w + 1],
+                     candidates[w], options.hwmt_binary_order,
+                     /*verify_right_benchmark=*/!options.candidate_pruning,
+                     &(*scratches)[slot], store_mu);
+    K2_RETURN_NOT_OK(result.status());
+    (*spanning)[w] = result.MoveValue();
+    return Status::OK();
+  }));
+  for (size_t w = 0; w < num_windows; ++w) {
+    s->spanning_convoys += (*spanning)[w].size();
+  }
+  s->phases.Add("HWMT", sw.ElapsedSeconds());
+  return Status::OK();
+}
+
 Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
                                       const K2HopOptions& options,
                                       K2HopStats* stats) {
@@ -274,77 +359,25 @@ Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
   std::mutex store_mu;
   std::vector<SnapshotScratch> scratches(static_cast<size_t>(threads));
 
-  // Runs fn(slot, i) for i in [0, n): on the pool when present, inline
-  // otherwise. Statuses are collected per item; the first failure wins.
-  auto for_each_indexed =
-      [&](size_t n,
-          const std::function<Status(size_t, size_t)>& fn) -> Status {
-    if (!pool.has_value()) {
-      for (size_t i = 0; i < n; ++i) K2_RETURN_NOT_OK(fn(0, i));
-      return Status::OK();
-    }
-    std::vector<Status> statuses(n);
-    pool->ParallelFor(n, [&](size_t slot, size_t i) {
-      statuses[i] = fn(slot, i);
-    });
-    for (Status& status : statuses) K2_RETURN_NOT_OK(status);
-    return Status::OK();
-  };
-
-  // Step 1: cluster the benchmark points, concurrently across points.
-  Stopwatch sw;
+  // Steps 1–3: the per-window pipeline over the full benchmark grid.
   const std::vector<Timestamp> benchmarks = BenchmarkPoints(range, params.k);
-  s->benchmark_points = benchmarks.size();
-  std::vector<std::vector<ObjectSet>> benchmark_clusters(benchmarks.size());
-  K2_RETURN_NOT_OK(
-      for_each_indexed(benchmarks.size(), [&](size_t slot, size_t i) {
-        auto result =
-            ClusterSnapshot(store, benchmarks[i], params, &scratches[slot],
-                            pool.has_value() ? &store_mu : nullptr);
-        K2_RETURN_NOT_OK(result.status());
-        benchmark_clusters[i] = result.MoveValue();
-        return Status::OK();
-      }));
-  s->phases.Add("benchmark", sw.ElapsedSeconds());
-
-  // Step 2: candidate clusters per hop-window.
-  sw.Restart();
-  const size_t num_windows = benchmarks.size() - 1;
-  s->hop_windows = num_windows;
-  std::vector<std::vector<ObjectSet>> candidates(num_windows);
-  for (size_t w = 0; w < num_windows; ++w) {
-    if (options.candidate_pruning) {
-      candidates[w] = CandidateClusters(benchmark_clusters[w],
-                                        benchmark_clusters[w + 1], params.m);
-    } else {
-      candidates[w] = benchmark_clusters[w];  // ablation: no intersection
-    }
-    s->candidate_clusters += candidates[w].size();
-    if (!candidates[w].empty()) ++s->hop_windows_mined;
+  std::vector<std::vector<ObjectSet>> spanning;
+  HopWindowPipelineStats hw;
+  K2_RETURN_NOT_OK(MineHopWindows(
+      store, params, benchmarks, options, &spanning, &hw,
+      pool.has_value() ? &*pool : nullptr,
+      pool.has_value() ? &store_mu : nullptr, &scratches));
+  s->benchmark_points = hw.benchmark_points;
+  s->hop_windows = hw.hop_windows;
+  s->hop_windows_mined = hw.hop_windows_mined;
+  s->candidate_clusters = hw.candidate_clusters;
+  s->spanning_convoys = hw.spanning_convoys;
+  for (const auto& [name, seconds] : hw.phases.phases()) {
+    s->phases.Add(name, seconds);
   }
-  s->phases.Add("candidates", sw.ElapsedSeconds());
-
-  // Step 3: HWMT inside each window, concurrently across windows.
-  sw.Restart();
-  std::vector<std::vector<ObjectSet>> spanning(num_windows);
-  K2_RETURN_NOT_OK(for_each_indexed(num_windows, [&](size_t slot, size_t w) {
-    if (candidates[w].empty()) return Status::OK();
-    auto result =
-        HwmtSpanning(store, params, benchmarks[w], benchmarks[w + 1],
-                     candidates[w], options.hwmt_binary_order,
-                     /*verify_right_benchmark=*/!options.candidate_pruning,
-                     &scratches[slot], pool.has_value() ? &store_mu : nullptr);
-    K2_RETURN_NOT_OK(result.status());
-    spanning[w] = result.MoveValue();
-    return Status::OK();
-  }));
-  for (size_t w = 0; w < num_windows; ++w) {
-    s->spanning_convoys += spanning[w].size();
-  }
-  s->phases.Add("HWMT", sw.ElapsedSeconds());
 
   // Step 4: merge into maximal spanning convoys.
-  sw.Restart();
+  Stopwatch sw;
   std::vector<Convoy> merged =
       MergeSpanningConvoys(spanning, benchmarks, params.m);
   s->merged_convoys = merged.size();

@@ -8,6 +8,7 @@
 #define K2_CORE_K2HOP_H_
 
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "storage/store.h"
 
 namespace k2 {
+
+class ThreadPool;
 
 struct K2HopOptions {
   /// HWMT probes hop-window ticks in binary-subdivision (farthest-first)
@@ -64,13 +67,7 @@ struct K2HopStats {
   /// The paper's "points processed" (Table 5).
   uint64_t points_processed() const { return io.points_read(); }
   /// Fraction of the dataset never touched (Table 5's pruning %).
-  double pruning_ratio() const {
-    if (total_points == 0) return 0.0;
-    const double processed = static_cast<double>(points_processed());
-    return processed >= static_cast<double>(total_points)
-               ? 0.0
-               : 1.0 - processed / static_cast<double>(total_points);
-  }
+  double pruning_ratio() const { return PruningRatio(io, total_points); }
   std::string DebugString() const;
 };
 
@@ -90,6 +87,38 @@ std::vector<Timestamp> BenchmarkPoints(TimeRange range, int k);
 std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
                                          const std::vector<ObjectSet>& right,
                                          int m);
+
+/// Counters of one MineHopWindows run (a subset of K2HopStats, so callers
+/// can fold several runs — one per shard — into their own totals).
+struct HopWindowPipelineStats {
+  PhaseTimer phases;  ///< "benchmark", "candidates", "HWMT"
+  size_t benchmark_points = 0;
+  size_t hop_windows = 0;
+  size_t hop_windows_mined = 0;
+  size_t candidate_clusters = 0;
+  size_t spanning_convoys = 0;
+};
+
+/// Steps 1–3 of the k/2-hop pipeline — benchmark-point clustering,
+/// candidate clusters, HWMT — over an injected benchmark sub-sequence:
+/// `benchmarks` may be any contiguous slice of the global ⌊k/2⌋ grid, which
+/// is how the partitioned miner runs the same pipeline per time shard.
+/// Fills `spanning->at(w)` with the spanning convoys of the window
+/// [benchmarks[w], benchmarks[w+1]] for w in [0, benchmarks.size() - 1).
+///
+/// With `pool`, benchmark clustering and window verification fan out over
+/// the pool (store fetches serialized by `store_mu`, results gathered by
+/// index — output is identical for every pool size); without it the run is
+/// sequential and `store_mu` may be null. `scratches` (optional) must hold
+/// one slot per concurrent runner (pool workers + 1, or 1 when sequential).
+/// `stats` may be null.
+Status MineHopWindows(Store* store, const MiningParams& params,
+                      std::span<const Timestamp> benchmarks,
+                      const K2HopOptions& options,
+                      std::vector<std::vector<ObjectSet>>* spanning,
+                      HopWindowPipelineStats* stats = nullptr,
+                      ThreadPool* pool = nullptr, std::mutex* store_mu = nullptr,
+                      std::vector<SnapshotScratch>* scratches = nullptr);
 
 /// HWMT (Algorithm 2): verifies candidates at every tick strictly inside
 /// (b_left, b_right); when `verify_right_benchmark`, b_right is probed too
@@ -138,6 +167,14 @@ class SpanningConvoyMerger {
   void Finish(Timestamp last_benchmark, std::vector<Convoy>* died);
 
   size_t active_size() const { return active_.size(); }
+
+  /// State transfer for the partitioned seam stitch: a shard's local fold
+  /// ends with an active map describing every convoy still spanning its
+  /// right boundary; when nothing crossed into the shard, that map IS the
+  /// global fold state at the seam and the stitcher adopts it wholesale
+  /// instead of replaying the shard's windows.
+  StartMap TakeActive() { return std::move(active_); }
+  void SetActive(StartMap active) { active_ = std::move(active); }
 
  private:
   int m_;

@@ -84,13 +84,7 @@ struct OnlineK2HopStats {
 
   uint64_t points_processed() const { return mining_io.points_read(); }
   /// Fraction of the ingested data never touched by mining reads.
-  double pruning_ratio() const {
-    if (total_points == 0) return 0.0;
-    const double processed = static_cast<double>(points_processed());
-    return processed >= static_cast<double>(total_points)
-               ? 0.0
-               : 1.0 - processed / static_cast<double>(total_points);
-  }
+  double pruning_ratio() const { return PruningRatio(mining_io, total_points); }
   std::string DebugString() const;
 };
 

@@ -35,6 +35,21 @@ BPlusTree::BPlusTree(std::string path, size_t buffer_pool_pages,
     : pager_(std::move(path), stats),
       pool_(&pager_, buffer_pool_pages, stats) {}
 
+Status BPlusTree::OpenReadReplicaOf(const BPlusTree& source) {
+  if (path() != source.path()) {
+    return Status::Invalid("read replica path " + path() +
+                           " does not match source tree " + source.path());
+  }
+  K2_RETURN_NOT_OK(pager_.Open());
+  pool_.Clear();
+  // The tree shape lives only in memory (the file has no meta page yet), so
+  // the replica copies it from the source handle.
+  root_pid_ = source.root_pid_;
+  height_ = source.height_;
+  num_records_ = source.num_records_;
+  return Status::OK();
+}
+
 Status BPlusTree::BuildFrom(const Dataset& dataset) {
   K2_RETURN_NOT_OK(pager_.Create());
   pool_.Clear();

@@ -34,6 +34,15 @@ class BPlusTree {
   /// leaves it open for queries.
   Status BuildFrom(const Dataset& dataset);
 
+  /// Opens this (freshly constructed) tree as an independent read-only
+  /// replica of `source`'s already-built tree: same file, private pager and
+  /// buffer pool, so replica reads never contend with the source. This
+  /// tree must have been constructed with source.path(); the replica is
+  /// valid while the source's file stays unmodified.
+  Status OpenReadReplicaOf(const BPlusTree& source);
+
+  const std::string& path() const { return pager_.path(); }
+
   /// Point lookup; `*found` is false when the key is absent.
   Status Get(uint64_t key, BPTreeValue* value, bool* found);
 

@@ -38,6 +38,11 @@ class BPlusTreeStore final : public Store {
     return tree_.num_records() + delta_.num_points();
   }
 
+  /// Native snapshot: a read replica of the tree file with its own pager
+  /// and buffer pool (see BPlusTree::OpenReadReplicaOf); the append delta
+  /// is shared read-only.
+  Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
+
   BPlusTree& tree() { return tree_; }
   /// Appended rows not yet in the tree.
   uint64_t delta_points() const { return delta_.num_points(); }
@@ -50,6 +55,7 @@ class BPlusTreeStore final : public Store {
   }
 
   BPlusTree tree_;
+  size_t buffer_pool_pages_;  ///< replicated into read snapshots
   Dataset delta_;
   std::vector<Timestamp> timestamps_;
   TimeRange tree_range_{0, -1};  ///< tick range covered by the tree

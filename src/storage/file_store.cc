@@ -10,6 +10,130 @@ namespace k2 {
 static_assert(sizeof(PointRecord) == 24,
               "PointRecord must be 24 bytes for the fixed-width row format");
 
+namespace {
+
+// Read path shared by the store and its snapshots. Each caller owns its
+// FILE* (file position), scratch buffer, and IoStats, so handles never
+// contend; the extent directory is identical across them.
+
+Status ReadRowsAt(std::FILE* file, const std::string& path,
+                  uint64_t row_offset, uint64_t count,
+                  std::vector<PointRecord>* scratch, IoStats* stats) {
+  scratch->resize(count);
+  if (count == 0) return Status::OK();
+  if (std::fseek(file, static_cast<long>(row_offset * sizeof(PointRecord)),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path);
+  }
+  ++stats->seeks;
+  if (std::fread(scratch->data(), sizeof(PointRecord), count, file) != count) {
+    return Status::IOError("short read from " + path);
+  }
+  stats->bytes_read += count * sizeof(PointRecord);
+  return Status::OK();
+}
+
+Status ScanFlatFile(std::FILE* file, const std::string& path,
+                    const std::vector<Timestamp>& timestamps,
+                    const std::vector<FileStore::Extent>& extents, Timestamp t,
+                    std::vector<SnapshotPoint>* out,
+                    std::vector<PointRecord>* scratch, IoStats* stats) {
+  out->clear();
+  if (file == nullptr) return Status::Invalid("FileStore not loaded");
+  auto it = std::lower_bound(timestamps.begin(), timestamps.end(), t);
+  ++stats->snapshot_scans;
+  if (it == timestamps.end() || *it != t) return Status::OK();
+  const FileStore::Extent& ext = extents[it - timestamps.begin()];
+  K2_RETURN_NOT_OK(
+      ReadRowsAt(file, path, ext.row_offset, ext.count, scratch, stats));
+  out->reserve(ext.count);
+  for (const PointRecord& rec : *scratch) {
+    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+  }
+  stats->scanned_points += out->size();
+  return Status::OK();
+}
+
+Status GetFlatFilePoints(std::FILE* file, const std::string& path,
+                         const std::vector<Timestamp>& timestamps,
+                         const std::vector<FileStore::Extent>& extents,
+                         Timestamp t, const ObjectSet& objects,
+                         std::vector<SnapshotPoint>* out,
+                         std::vector<PointRecord>* scratch, IoStats* stats) {
+  out->clear();
+  if (file == nullptr) return Status::Invalid("FileStore not loaded");
+  stats->point_queries += objects.size();
+  auto it = std::lower_bound(timestamps.begin(), timestamps.end(), t);
+  if (it == timestamps.end() || *it != t) return Status::OK();
+  // No secondary index: a point read pays for the whole timestamp extent.
+  const FileStore::Extent& ext = extents[it - timestamps.begin()];
+  K2_RETURN_NOT_OK(
+      ReadRowsAt(file, path, ext.row_offset, ext.count, scratch, stats));
+  auto rec_it = scratch->begin();
+  for (ObjectId oid : objects) {
+    while (rec_it != scratch->end() && rec_it->oid < oid) ++rec_it;
+    if (rec_it == scratch->end()) break;
+    if (rec_it->oid == oid) {
+      out->push_back(SnapshotPoint{rec_it->oid, rec_it->x, rec_it->y});
+    }
+  }
+  stats->point_hits += out->size();
+  return Status::OK();
+}
+
+/// Read-only view with a private FILE*, scratch, and extent-directory copy;
+/// nothing is shared with the parent once constructed.
+class FileReadSnapshot final : public Store {
+ public:
+  FileReadSnapshot(std::FILE* file, std::string path,
+                   std::vector<Timestamp> timestamps,
+                   std::vector<FileStore::Extent> extents, TimeRange range,
+                   uint64_t num_points)
+      : file_(file),
+        path_(std::move(path)),
+        timestamps_(std::move(timestamps)),
+        extents_(std::move(extents)),
+        time_range_(range),
+        num_points_(num_points) {}
+
+  ~FileReadSnapshot() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::string name() const override { return "file"; }
+  Status BulkLoad(const Dataset&) override {
+    return Status::Invalid("read snapshot of file is read-only");
+  }
+  Status Append(Timestamp, const std::vector<SnapshotPoint>&) override {
+    return Status::Invalid("read snapshot of file is read-only");
+  }
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
+    return ScanFlatFile(file_, path_, timestamps_, extents_, t, out, &scratch_,
+                        &io_stats_);
+  }
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override {
+    return GetFlatFilePoints(file_, path_, timestamps_, extents_, t, objects,
+                             out, &scratch_, &io_stats_);
+  }
+  TimeRange time_range() const override { return time_range_; }
+  const std::vector<Timestamp>& timestamps() const override {
+    return timestamps_;
+  }
+  uint64_t num_points() const override { return num_points_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::vector<Timestamp> timestamps_;
+  std::vector<FileStore::Extent> extents_;
+  std::vector<PointRecord> scratch_;
+  TimeRange time_range_;
+  uint64_t num_points_;
+};
+
+}  // namespace
+
 FileStore::FileStore(std::string path) : path_(std::move(path)) {}
 
 FileStore::~FileStore() {
@@ -117,58 +241,32 @@ Status FileStore::Append(Timestamp t,
   return Status::OK();
 }
 
-Status FileStore::ReadRows(uint64_t row_offset, uint64_t count) {
-  scratch_.resize(count);
-  if (count == 0) return Status::OK();
-  if (std::fseek(file_, static_cast<long>(row_offset * sizeof(PointRecord)),
-                 SEEK_SET) != 0) {
-    return Status::IOError("seek failed in " + path_);
-  }
-  ++io_stats_.seeks;
-  if (std::fread(scratch_.data(), sizeof(PointRecord), count, file_) !=
-      count) {
-    return Status::IOError("short read from " + path_);
-  }
-  io_stats_.bytes_read += count * sizeof(PointRecord);
-  return Status::OK();
-}
-
 Status FileStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
-  out->clear();
-  if (file_ == nullptr) return Status::Invalid("FileStore not loaded");
-  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
-  ++io_stats_.snapshot_scans;
-  if (it == timestamps_.end() || *it != t) return Status::OK();
-  const Extent& ext = extents_[it - timestamps_.begin()];
-  K2_RETURN_NOT_OK(ReadRows(ext.row_offset, ext.count));
-  out->reserve(ext.count);
-  for (const PointRecord& rec : scratch_) {
-    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
-  }
-  io_stats_.scanned_points += out->size();
-  return Status::OK();
+  return ScanFlatFile(file_, path_, timestamps_, extents_, t, out, &scratch_,
+                      &io_stats_);
 }
 
 Status FileStore::GetPoints(Timestamp t, const ObjectSet& objects,
                             std::vector<SnapshotPoint>* out) {
-  out->clear();
-  if (file_ == nullptr) return Status::Invalid("FileStore not loaded");
-  io_stats_.point_queries += objects.size();
-  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
-  if (it == timestamps_.end() || *it != t) return Status::OK();
-  // No secondary index: a point read pays for the whole timestamp extent.
-  const Extent& ext = extents_[it - timestamps_.begin()];
-  K2_RETURN_NOT_OK(ReadRows(ext.row_offset, ext.count));
-  auto rec_it = scratch_.begin();
-  for (ObjectId oid : objects) {
-    while (rec_it != scratch_.end() && rec_it->oid < oid) ++rec_it;
-    if (rec_it == scratch_.end()) break;
-    if (rec_it->oid == oid) {
-      out->push_back(SnapshotPoint{rec_it->oid, rec_it->x, rec_it->y});
+  return GetFlatFilePoints(file_, path_, timestamps_, extents_, t, objects,
+                           out, &scratch_, &io_stats_);
+}
+
+Result<std::unique_ptr<Store>> FileStore::CreateReadSnapshot() {
+  // Mirror the parent's loaded state exactly: an unloaded parent fails its
+  // reads, so the snapshot does too (file == nullptr); a loaded-but-empty
+  // parent answers reads with empty results, so the snapshot needs a real
+  // handle on the (empty) file.
+  std::FILE* file = nullptr;
+  if (file_ != nullptr) {
+    file = std::fopen(path_.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::IOError("cannot open " + path_ +
+                             " for snapshot reads: " + std::strerror(errno));
     }
   }
-  io_stats_.point_hits += out->size();
-  return Status::OK();
+  return std::unique_ptr<Store>(new FileReadSnapshot(
+      file, path_, timestamps_, extents_, time_range_, num_points_));
 }
 
 uint64_t FileStore::file_size_bytes() const {

@@ -35,18 +35,22 @@ class FileStore final : public Store {
   }
   uint64_t num_points() const override { return num_points_; }
 
+  /// Native snapshot: its own read handle on the backing file plus a copy
+  /// of the (small) extent directory, so concurrent readers never share a
+  /// file position or scratch buffer.
+  Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
+
   /// Size of the backing file in bytes (0 before BulkLoad).
   uint64_t file_size_bytes() const;
 
- private:
+  /// Row extent of one timestamp in the backing file. Public so read
+  /// snapshots can copy the directory.
   struct Extent {
     uint64_t row_offset = 0;  // first row index
     uint64_t count = 0;
   };
 
-  /// Reads `count` rows starting at row index `row_offset` into scratch_.
-  Status ReadRows(uint64_t row_offset, uint64_t count);
-
+ private:
   std::string path_;
   std::FILE* file_ = nullptr;         ///< read handle (seeks before reads)
   std::FILE* append_file_ = nullptr;  ///< persistent write handle for Append

@@ -12,6 +12,165 @@ using lsm::LsmValue;
 using lsm::SSTable;
 using lsm::SSTableBuilder;
 
+namespace {
+
+// Read path shared by the store and its snapshots, templated over the
+// memtable representation: the live store reads its SkipList, a snapshot
+// reads a frozen sorted run. `tables` is newest first; per-table IO is
+// charged to whatever IoStats each SSTable handle was opened with.
+
+template <typename MemtableT>
+Status LsmScanTimestamp(const MemtableT& memtable,
+                        const std::vector<SSTable*>& tables, Timestamp t,
+                        std::vector<SnapshotPoint>* out, IoStats* stats) {
+  out->clear();
+  ++stats->snapshot_scans;
+  const uint64_t lo = MinKeyOf(t);
+  const uint64_t hi = MaxKeyOf(t);
+
+  // Collect versions from every overlapping source, newest-wins per key.
+  struct Row {
+    uint64_t key;
+    uint64_t seq;
+    LsmValue value;
+  };
+  std::vector<Row> rows;
+  memtable.Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+    rows.push_back(Row{key, ~0ULL, value});
+  });
+  for (SSTable* table : tables) {
+    if (!table->Overlaps(lo, hi)) continue;
+    K2_RETURN_NOT_OK(
+        table->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+          rows.push_back(Row{key, table->seq(), value});
+        }));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq > b.seq;
+  });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0 && rows[i].key == rows[i - 1].key) continue;
+    out->push_back(
+        SnapshotPoint{KeyOid(rows[i].key), rows[i].value.x, rows[i].value.y});
+  }
+  stats->scanned_points += out->size();
+  return Status::OK();
+}
+
+template <typename MemtableT>
+Status LsmGetPoints(const MemtableT& memtable,
+                    const std::vector<SSTable*>& tables, bool use_bloom,
+                    Timestamp t, const ObjectSet& objects,
+                    std::vector<SnapshotPoint>* out, IoStats* stats) {
+  out->clear();
+  stats->point_queries += objects.size();
+  const bool have_memtable = !memtable.empty();
+  for (ObjectId oid : objects) {
+    const uint64_t key = MakeKey(t, oid);
+    LsmValue value;
+    if (have_memtable && memtable.Get(key, &value)) {
+      out->push_back(SnapshotPoint{oid, value.x, value.y});
+      continue;
+    }
+    bool found = false;
+    for (SSTable* table : tables) {
+      K2_ASSIGN_OR_RETURN(found, table->Get(key, &value, use_bloom));
+      if (found) {
+        out->push_back(SnapshotPoint{oid, value.x, value.y});
+        break;
+      }
+    }
+  }
+  stats->point_hits += out->size();
+  return Status::OK();
+}
+
+/// Frozen memtable: the SkipList contents as one sorted run, exposing the
+/// subset of the SkipList read API the shared helpers use.
+class SortedRun {
+ public:
+  void Add(uint64_t key, const LsmValue& value) {
+    rows_.emplace_back(key, value);
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  bool Get(uint64_t key, LsmValue* value) const {
+    auto it = std::lower_bound(
+        rows_.begin(), rows_.end(), key,
+        [](const auto& row, uint64_t k) { return row.first < k; });
+    if (it == rows_.end() || it->first != key) return false;
+    *value = it->second;
+    return true;
+  }
+
+  template <typename Fn>
+  void Scan(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    auto it = std::lower_bound(
+        rows_.begin(), rows_.end(), lo,
+        [](const auto& row, uint64_t k) { return row.first < k; });
+    for (; it != rows_.end() && it->first <= hi; ++it) fn(it->first, it->second);
+  }
+
+ private:
+  std::vector<std::pair<uint64_t, LsmValue>> rows_;
+};
+
+/// Read-only view over the immutable table files: private SSTable handles
+/// (own mmap, cache, bloom, stats) plus the frozen memtable run.
+class LsmReadSnapshot final : public Store {
+ public:
+  LsmReadSnapshot(SortedRun memtable, bool use_bloom,
+                  std::vector<Timestamp> timestamps, uint64_t num_points)
+      : memtable_(std::move(memtable)),
+        use_bloom_(use_bloom),
+        timestamps_(std::move(timestamps)),
+        num_points_(num_points) {}
+
+  Status AddTable(const std::string& path, uint64_t seq) {
+    K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> table,
+                        SSTable::Open(path, seq, &io_stats_));
+    tables_.push_back(std::move(table));
+    flat_.push_back(tables_.back().get());
+    return Status::OK();
+  }
+
+  std::string name() const override { return "lsmt"; }
+  Status BulkLoad(const Dataset&) override {
+    return Status::Invalid("read snapshot of lsmt is read-only");
+  }
+  Status Append(Timestamp, const std::vector<SnapshotPoint>&) override {
+    return Status::Invalid("read snapshot of lsmt is read-only");
+  }
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
+    return LsmScanTimestamp(memtable_, flat_, t, out, &io_stats_);
+  }
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override {
+    return LsmGetPoints(memtable_, flat_, use_bloom_, t, objects, out,
+                        &io_stats_);
+  }
+  TimeRange time_range() const override {
+    if (timestamps_.empty()) return TimeRange{0, -1};
+    return TimeRange{timestamps_.front(), timestamps_.back()};
+  }
+  const std::vector<Timestamp>& timestamps() const override {
+    return timestamps_;
+  }
+  uint64_t num_points() const override { return num_points_; }
+
+ private:
+  std::vector<std::unique_ptr<SSTable>> tables_;
+  std::vector<SSTable*> flat_;  // newest first, mirrors the parent's order
+  SortedRun memtable_;
+  bool use_bloom_;
+  std::vector<Timestamp> timestamps_;
+  uint64_t num_points_;
+};
+
+}  // namespace
+
 LsmStore::LsmStore(std::string dir, Options options)
     : dir_(std::move(dir)), options_(options) {
   std::error_code ec;
@@ -162,64 +321,29 @@ void LsmStore::RebuildFlatView() {
 }
 
 Status LsmStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
-  out->clear();
-  ++io_stats_.snapshot_scans;
-  const uint64_t lo = MinKeyOf(t);
-  const uint64_t hi = MaxKeyOf(t);
-
-  // Collect versions from every overlapping source, newest-wins per key.
-  struct Row {
-    uint64_t key;
-    uint64_t seq;
-    LsmValue value;
-  };
-  std::vector<Row> rows;
-  memtable_.Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
-    rows.push_back(Row{key, ~0ULL, value});
-  });
-  for (SSTable* table : flat_newest_first_) {
-    if (!table->Overlaps(lo, hi)) continue;
-    K2_RETURN_NOT_OK(
-        table->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
-          rows.push_back(Row{key, table->seq(), value});
-        }));
-  }
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.seq > b.seq;
-  });
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (i > 0 && rows[i].key == rows[i - 1].key) continue;
-    out->push_back(
-        SnapshotPoint{KeyOid(rows[i].key), rows[i].value.x, rows[i].value.y});
-  }
-  io_stats_.scanned_points += out->size();
-  return Status::OK();
+  return LsmScanTimestamp(memtable_, flat_newest_first_, t, out, &io_stats_);
 }
 
 Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
                            std::vector<SnapshotPoint>* out) {
-  out->clear();
-  io_stats_.point_queries += objects.size();
-  const bool have_memtable = !memtable_.empty();
-  for (ObjectId oid : objects) {
-    const uint64_t key = MakeKey(t, oid);
-    LsmValue value;
-    if (have_memtable && memtable_.Get(key, &value)) {
-      out->push_back(SnapshotPoint{oid, value.x, value.y});
-      continue;
-    }
-    bool found = false;
-    for (SSTable* table : flat_newest_first_) {
-      K2_ASSIGN_OR_RETURN(found, table->Get(key, &value, options_.use_bloom));
-      if (found) {
-        out->push_back(SnapshotPoint{oid, value.x, value.y});
-        break;
-      }
-    }
+  return LsmGetPoints(memtable_, flat_newest_first_, options_.use_bloom, t,
+                      objects, out, &io_stats_);
+}
+
+Result<std::unique_ptr<Store>> LsmStore::CreateReadSnapshot() {
+  SortedRun run;
+  // ForEach visits in key order, so the run is born sorted.
+  memtable_.ForEach(
+      [&](uint64_t key, const LsmValue& value) { run.Add(key, value); });
+  auto snapshot = std::make_unique<LsmReadSnapshot>(
+      std::move(run), options_.use_bloom, tick_cache_, num_points_);
+  // Open a private handle per immutable table, preserving newest-first
+  // order; re-reading each table's resident index and bloom is the
+  // per-snapshot setup cost, charged to the snapshot's io_stats().
+  for (SSTable* table : flat_newest_first_) {
+    K2_RETURN_NOT_OK(snapshot->AddTable(table->path(), table->seq()));
   }
-  io_stats_.point_hits += out->size();
-  return Status::OK();
+  return std::unique_ptr<Store>(std::move(snapshot));
 }
 
 TimeRange LsmStore::time_range() const {

@@ -42,6 +42,12 @@ class LsmStore final : public Store {
   const std::vector<Timestamp>& timestamps() const override;
   uint64_t num_points() const override { return num_points_; }
 
+  /// Native snapshot: opens a private SSTable handle (own mmap, block
+  /// cache, bloom, IO accounting) per immutable table file and freezes the
+  /// memtable into a sorted run, so concurrent readers share nothing
+  /// mutable.
+  Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
+
   /// Single-row insert ("fast data inserts" requirement (3) of Sec. 5);
   /// flushes / compacts automatically.
   Status Put(Timestamp t, ObjectId oid, double x, double y);

@@ -2,6 +2,78 @@
 
 namespace k2 {
 
+namespace {
+
+// Read path shared by the store and its snapshots: both serve queries from
+// an immutable Dataset, differing only in which IoStats they charge.
+Status ScanDataset(const Dataset& dataset, Timestamp t,
+                   std::vector<SnapshotPoint>* out, IoStats* stats) {
+  out->clear();
+  auto snap = dataset.Snapshot(t);
+  out->reserve(snap.size());
+  for (const PointRecord& rec : snap) {
+    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
+  }
+  ++stats->snapshot_scans;
+  stats->scanned_points += out->size();
+  stats->bytes_read += snap.size_bytes();
+  return Status::OK();
+}
+
+Status GetDatasetPoints(const Dataset& dataset, Timestamp t,
+                        const ObjectSet& objects,
+                        std::vector<SnapshotPoint>* out, IoStats* stats) {
+  out->clear();
+  auto snap = dataset.Snapshot(t);
+  stats->point_queries += objects.size();
+  if (snap.empty()) return Status::OK();
+  // Merge over the sorted snapshot and the sorted object set.
+  auto it = snap.begin();
+  for (ObjectId oid : objects) {
+    while (it != snap.end() && it->oid < oid) ++it;
+    if (it == snap.end()) break;
+    if (it->oid == oid) {
+      out->push_back(SnapshotPoint{it->oid, it->x, it->y});
+      stats->bytes_read += sizeof(PointRecord);
+    }
+  }
+  stats->point_hits += out->size();
+  return Status::OK();
+}
+
+/// Read-only view over the parent's Dataset. The dataset is immutable while
+/// snapshots exist (the CreateReadSnapshot contract), so handles share it by
+/// pointer and each keeps private IoStats — zero shared mutable state.
+class MemorySnapshotStore final : public Store {
+ public:
+  explicit MemorySnapshotStore(const Dataset* dataset) : dataset_(dataset) {}
+
+  std::string name() const override { return "memory"; }
+  Status BulkLoad(const Dataset&) override {
+    return Status::Invalid("read snapshot of memory is read-only");
+  }
+  Status Append(Timestamp, const std::vector<SnapshotPoint>&) override {
+    return Status::Invalid("read snapshot of memory is read-only");
+  }
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
+    return ScanDataset(*dataset_, t, out, &io_stats_);
+  }
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override {
+    return GetDatasetPoints(*dataset_, t, objects, out, &io_stats_);
+  }
+  TimeRange time_range() const override { return dataset_->time_range(); }
+  const std::vector<Timestamp>& timestamps() const override {
+    return dataset_->timestamps();
+  }
+  uint64_t num_points() const override { return dataset_->num_points(); }
+
+ private:
+  const Dataset* dataset_;
+};
+
+}  // namespace
+
 MemoryStore::MemoryStore(Dataset dataset) : dataset_(std::move(dataset)) {}
 
 Status MemoryStore::BulkLoad(const Dataset& dataset) {
@@ -18,36 +90,16 @@ Status MemoryStore::Append(Timestamp t,
 
 Status MemoryStore::ScanTimestamp(Timestamp t,
                                   std::vector<SnapshotPoint>* out) {
-  out->clear();
-  auto snap = dataset_.Snapshot(t);
-  out->reserve(snap.size());
-  for (const PointRecord& rec : snap) {
-    out->push_back(SnapshotPoint{rec.oid, rec.x, rec.y});
-  }
-  ++io_stats_.snapshot_scans;
-  io_stats_.scanned_points += out->size();
-  io_stats_.bytes_read += snap.size_bytes();
-  return Status::OK();
+  return ScanDataset(dataset_, t, out, &io_stats_);
 }
 
 Status MemoryStore::GetPoints(Timestamp t, const ObjectSet& objects,
                               std::vector<SnapshotPoint>* out) {
-  out->clear();
-  auto snap = dataset_.Snapshot(t);
-  io_stats_.point_queries += objects.size();
-  if (snap.empty()) return Status::OK();
-  // Merge over the sorted snapshot and the sorted object set.
-  auto it = snap.begin();
-  for (ObjectId oid : objects) {
-    while (it != snap.end() && it->oid < oid) ++it;
-    if (it == snap.end()) break;
-    if (it->oid == oid) {
-      out->push_back(SnapshotPoint{it->oid, it->x, it->y});
-      io_stats_.bytes_read += sizeof(PointRecord);
-    }
-  }
-  io_stats_.point_hits += out->size();
-  return Status::OK();
+  return GetDatasetPoints(dataset_, t, objects, out, &io_stats_);
+}
+
+Result<std::unique_ptr<Store>> MemoryStore::CreateReadSnapshot() {
+  return std::unique_ptr<Store>(new MemorySnapshotStore(&dataset_));
 }
 
 }  // namespace k2

@@ -29,6 +29,10 @@ class MemoryStore final : public Store {
   }
   uint64_t num_points() const override { return dataset_.num_points(); }
 
+  /// Native snapshot: reads the immutable Dataset directly — fully
+  /// concurrent, no shared mutable state between handles.
+  Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
+
   const Dataset& dataset() const { return dataset_; }
 
  private:

@@ -50,10 +50,74 @@ void IoStats::Accumulate(const IoStats& other) {
   sstables_touched += other.sstables_touched;
 }
 
+double PruningRatio(const IoStats& io, uint64_t total_points) {
+  if (total_points == 0) return 0.0;
+  const double processed = static_cast<double>(io.points_read());
+  return processed >= static_cast<double>(total_points)
+             ? 0.0
+             : 1.0 - processed / static_cast<double>(total_points);
+}
+
 Status Store::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
   (void)t;
   (void)points;
   return Status::NotImplemented("Append is not supported by " + name());
+}
+
+namespace {
+
+/// CreateReadSnapshot fallback: a read-only delegate that serializes every
+/// access through the parent's fallback mutex. Correct for any engine;
+/// concurrent readers make no progress against each other, which is exactly
+/// why the built-in engines override the hook with native handles. IO is
+/// counted by the parent (inside the locked delegate call); this wrapper's
+/// own io_stats() stay zero so callers never double-count.
+class SerializedSnapshotStore final : public Store {
+ public:
+  SerializedSnapshotStore(Store* parent, std::mutex* mu)
+      : parent_(parent), mu_(mu) {}
+
+  std::string name() const override { return parent_->name(); }
+
+  Status BulkLoad(const Dataset&) override { return ReadOnly(); }
+  Status Append(Timestamp, const std::vector<SnapshotPoint>&) override {
+    return ReadOnly();
+  }
+
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return parent_->ScanTimestamp(t, out);
+  }
+
+  Status GetPoints(Timestamp t, const ObjectSet& objects,
+                   std::vector<SnapshotPoint>* out) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return parent_->GetPoints(t, objects, out);
+  }
+
+  // Metadata accessors are const on the parent and no writer may be active
+  // while snapshots exist (the snapshot contract), so no lock is needed.
+  TimeRange time_range() const override { return parent_->time_range(); }
+  const std::vector<Timestamp>& timestamps() const override {
+    return parent_->timestamps();
+  }
+  uint64_t num_points() const override { return parent_->num_points(); }
+
+ private:
+  Status ReadOnly() const {
+    return Status::Invalid("read snapshot of " + parent_->name() +
+                           " is read-only");
+  }
+
+  Store* parent_;
+  std::mutex* mu_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Store>> Store::CreateReadSnapshot() {
+  return std::unique_ptr<Store>(
+      new SerializedSnapshotStore(this, &fallback_snapshot_mu_));
 }
 
 Status Store::CheckAppend(Timestamp t,

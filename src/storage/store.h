@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,11 @@ struct IoStats {
   void Accumulate(const IoStats& other);
 };
 
+/// Fraction of `total_points` never materialized by `io` — the paper's
+/// Table-5 pruning %. Shared by every miner's stats type so batch, online,
+/// and partitioned pruning numbers stay defined identically.
+double PruningRatio(const IoStats& io, uint64_t total_points);
+
 /// Abstract trajectory store keyed by the composite clustered key (t, oid).
 ///
 /// Thread-safety contract: stores are single-writer, and reads are NOT
@@ -56,6 +62,11 @@ struct IoStats {
 /// const snapshots of the metadata may be taken without the store lock as
 /// long as no writer is active. Writers (`BulkLoad`, `Append`) must have
 /// exclusive access.
+///
+/// For lock-free concurrent reads, `CreateReadSnapshot` hands out
+/// independent read-only handles (one per reader thread) instead of sharing
+/// the store under a mutex — the access path the partitioned miner uses to
+/// keep shards from serializing on one store.
 class Store {
  public:
   virtual ~Store() = default;
@@ -96,6 +107,28 @@ class Store {
   /// Total number of stored rows.
   virtual uint64_t num_points() const = 0;
 
+  /// Creates an independent read-only view of the store's current content
+  /// for one concurrent reader thread (the partitioned miner opens one per
+  /// shard slot). Contract:
+  ///
+  ///  * the snapshot borrows the parent: it must not outlive the parent
+  ///    store, and the parent must not be mutated (BulkLoad/Append/Put)
+  ///    while snapshots are alive;
+  ///  * one snapshot serves one thread at a time; distinct snapshots may
+  ///    read concurrently with each other without any external lock;
+  ///  * writes through a snapshot fail with kInvalid;
+  ///  * IO is accounted once: engines with a native snapshot (all four
+  ///    built-ins) count reads in the snapshot's own io_stats(); the
+  ///    base-class fallback delegates under an internal parent-wide mutex
+  ///    and counts in the parent's io_stats(). Callers fold parent delta
+  ///    plus every snapshot's stats to get the total.
+  ///
+  /// The base implementation is the serialized fallback — correct for any
+  /// engine, concurrent for none. Engines override it with handles that
+  /// own their read path (file descriptors, caches, scratch), which is what
+  /// makes shards scale.
+  virtual Result<std::unique_ptr<Store>> CreateReadSnapshot();
+
   IoStats& io_stats() { return io_stats_; }
   const IoStats& io_stats() const { return io_stats_; }
 
@@ -106,6 +139,11 @@ class Store {
                      const std::vector<SnapshotPoint>& points) const;
 
   IoStats io_stats_;
+
+ private:
+  /// Serializes every fallback snapshot of this store (see
+  /// CreateReadSnapshot); engines with native snapshots never touch it.
+  std::mutex fallback_snapshot_mu_;
 };
 
 /// Factory helpers used by benches and examples; `dir` is a scratch

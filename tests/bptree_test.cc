@@ -102,7 +102,9 @@ TEST_F(BPlusTreeTest, RangeScanCrossesLeaves) {
   uint64_t prev_key = 0;
   ASSERT_TRUE(tree->ScanRange(MinKeyOf(3), MaxKeyOf(5),
                               [&](uint64_t key, const BPTreeValue&) {
-                                if (count > 0) EXPECT_GT(key, prev_key);
+                                if (count > 0) {
+                                  EXPECT_GT(key, prev_key);
+                                }
                                 prev_key = key;
                                 ++count;
                               })

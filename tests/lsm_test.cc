@@ -61,7 +61,9 @@ TEST(SkipListTest, ManyKeysStaySorted) {
   uint64_t prev = 0;
   bool first = true;
   list.ForEach([&](uint64_t k, const LsmValue&) {
-    if (!first) EXPECT_GT(k, prev);
+    if (!first) {
+      EXPECT_GT(k, prev);
+    }
     prev = k;
     first = false;
   });

@@ -1,6 +1,7 @@
 // Parameterized conformance tests: every storage engine must behave exactly
 // like the in-memory oracle for scans and point reads, and must account IO.
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -246,6 +247,147 @@ TEST_P(StoreConformanceTest, AppendValidatesItsPreconditions) {
   ASSERT_TRUE(store->Append(7, {}).ok());
   EXPECT_EQ(store->num_points(), 1u);
   EXPECT_EQ(store->time_range(), (TimeRange{5, 5}));
+}
+
+TEST_P(StoreConformanceTest, ReadSnapshotMatchesParent) {
+  RandomWalkSpec spec;
+  spec.num_objects = 20;
+  spec.num_ticks = 30;
+  spec.seed = 11;
+  const Dataset ds = GenerateRandomWalk(spec);
+  auto store = Make("snapshot");
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+
+  auto snapshot_result = store->CreateReadSnapshot();
+  ASSERT_TRUE(snapshot_result.ok()) << snapshot_result.status().ToString();
+  std::unique_ptr<Store> snapshot = snapshot_result.MoveValue();
+
+  EXPECT_EQ(snapshot->name(), store->name());
+  EXPECT_EQ(snapshot->num_points(), store->num_points());
+  EXPECT_EQ(snapshot->time_range(), store->time_range());
+  EXPECT_EQ(snapshot->timestamps(), store->timestamps());
+
+  std::vector<SnapshotPoint> got, want;
+  for (Timestamp t = -1; t <= 31; ++t) {
+    ASSERT_TRUE(snapshot->ScanTimestamp(t, &got).ok());
+    ASSERT_TRUE(store->ScanTimestamp(t, &want).ok());
+    EXPECT_EQ(got, want) << "tick " << t;
+    const ObjectSet probe = ObjectSet::Of({0, 2, 5, 13, 19, 77});
+    ASSERT_TRUE(snapshot->GetPoints(t, probe, &got).ok());
+    ASSERT_TRUE(store->GetPoints(t, probe, &want).ok());
+    EXPECT_EQ(got, want) << "tick " << t;
+  }
+}
+
+TEST_P(StoreConformanceTest, ReadSnapshotOfEmptyLoadedStoreReadsEmpty) {
+  // A loaded-but-empty parent answers reads with empty results; so must
+  // its snapshots (snapshot/parent conformance, not an error).
+  auto store = Make("snapshot_empty");
+  ASSERT_TRUE(store->BulkLoad(DatasetBuilder().Build()).ok());
+  auto snapshot_result = store->CreateReadSnapshot();
+  ASSERT_TRUE(snapshot_result.ok()) << snapshot_result.status().ToString();
+  std::unique_ptr<Store> snapshot = snapshot_result.MoveValue();
+  EXPECT_EQ(snapshot->num_points(), 0u);
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(snapshot->ScanTimestamp(0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(snapshot->GetPoints(0, ObjectSet::Of({1, 2}), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(StoreConformanceTest, ReadSnapshotSeesAppendedDelta) {
+  // Snapshots must cover data that arrived through Append (memtable / delta
+  // contents), not just the bulk-loaded base.
+  auto store = Make("snapshot_delta");
+  ASSERT_TRUE(
+      store->BulkLoad(MakeDataset({{0, 1, 1, 0}, {1, 1, 2, 0}})).ok());
+  ASSERT_TRUE(store->Append(2, {{1, 3.0, 0.0}, {4, 7.0, 7.0}}).ok());
+
+  auto snapshot_result = store->CreateReadSnapshot();
+  ASSERT_TRUE(snapshot_result.ok()) << snapshot_result.status().ToString();
+  std::unique_ptr<Store> snapshot = snapshot_result.MoveValue();
+
+  EXPECT_EQ(snapshot->num_points(), 4u);
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(snapshot->ScanTimestamp(2, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].oid, 1u);
+  EXPECT_DOUBLE_EQ(out[0].x, 3.0);
+  EXPECT_EQ(out[1].oid, 4u);
+  ASSERT_TRUE(snapshot->GetPoints(2, ObjectSet::Of({4}), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].y, 7.0);
+}
+
+TEST_P(StoreConformanceTest, ReadSnapshotIsReadOnlyAndIsolatesIo) {
+  auto store = Make("snapshot_ro");
+  const Dataset ds = MakeDataset({{0, 1, 1, 0}, {0, 2, 2, 0}, {1, 1, 3, 0}});
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+
+  auto snapshot_result = store->CreateReadSnapshot();
+  ASSERT_TRUE(snapshot_result.ok());
+  std::unique_ptr<Store> snapshot = snapshot_result.MoveValue();
+
+  EXPECT_FALSE(snapshot->BulkLoad(ds).ok());
+  EXPECT_FALSE(snapshot->Append(9, {{1, 0.0, 0.0}}).ok());
+
+  // Native snapshots charge their own io_stats(); the parent's counters
+  // must not move for snapshot reads.
+  const IoStats parent_before = store->io_stats();
+  const IoStats snap_before = snapshot->io_stats();
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(snapshot->ScanTimestamp(0, &out).ok());
+  ASSERT_TRUE(snapshot->GetPoints(1, ObjectSet::Of({1}), &out).ok());
+  const IoStats parent_delta =
+      IoStats::Delta(store->io_stats(), parent_before);
+  const IoStats snap_delta =
+      IoStats::Delta(snapshot->io_stats(), snap_before);
+  EXPECT_EQ(parent_delta.points_read() + parent_delta.snapshot_scans, 0u);
+  EXPECT_EQ(snap_delta.snapshot_scans, 1u);
+  EXPECT_EQ(snap_delta.point_queries, 1u);
+}
+
+TEST_P(StoreConformanceTest, ConcurrentSnapshotsReadConsistently) {
+  // Each snapshot is single-threaded, but distinct snapshots must be able
+  // to read concurrently without external locks (the partitioned miner's
+  // access pattern). Run under TSan in CI.
+  RandomWalkSpec spec;
+  spec.num_objects = 12;
+  spec.num_ticks = 20;
+  spec.seed = 23;
+  const Dataset ds = GenerateRandomWalk(spec);
+  auto store = Make("snapshot_conc");
+  ASSERT_TRUE(store->BulkLoad(ds).ok());
+
+  constexpr int kReaders = 4;
+  std::vector<std::unique_ptr<Store>> snapshots;
+  for (int i = 0; i < kReaders; ++i) {
+    auto result = store->CreateReadSnapshot();
+    ASSERT_TRUE(result.ok());
+    snapshots.push_back(result.MoveValue());
+  }
+  std::vector<uint64_t> rows_seen(kReaders, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kReaders; ++i) {
+    threads.emplace_back([&, i] {
+      std::vector<SnapshotPoint> out;
+      for (int round = 0; round < 3; ++round) {
+        for (Timestamp t = 0; t < 20; ++t) {
+          if (!snapshots[i]->ScanTimestamp(t, &out).ok()) return;
+          rows_seen[i] += out.size();
+          if (!snapshots[i]
+                   ->GetPoints(t, ObjectSet::Of({0, 3, 7}), &out)
+                   .ok()) {
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kReaders; ++i) {
+    EXPECT_EQ(rows_seen[i], 3 * ds.num_points()) << "reader " << i;
+  }
 }
 
 TEST(FileStoreTest, FirstAppendTruncatesAStaleFile) {
