@@ -61,16 +61,15 @@ int main(int argc, char** argv) {
                     Fmt(batch_seconds / seconds, 2),
                     std::to_string(mined.value().size())});
 
-      std::ostringstream extra;
-      extra << ",\"shards\":" << stats.shards
-            << ",\"threads\":" << threads
-            << ",\"seams_crossed\":" << stats.seams_crossed
-            << ",\"stitch_replays\":" << stats.stitch_replays
-            << ",\"shards_ms\":" << stats.phases.Get("shards") * 1e3
-            << ",\"stitch_ms\":" << stats.phases.Get("stitch") * 1e3;
+      JsonFields extra;
+      extra.Int("shards", stats.shards)
+          .Int("threads", static_cast<uint64_t>(threads))
+          .Int("seams_crossed", stats.seams_crossed)
+          .Int("stitch_replays", stats.stitch_replays)
+          .Num("shards_ms", stats.phases.Get("shards") * 1e3)
+          .Num("stitch_ms", stats.phases.Get("stitch") * 1e3);
       RecordMiningRun("k2hop-partitioned-s" + std::to_string(shards), *store,
-                      params, seconds, mined.value().size(), stats.io,
-                      extra.str());
+                      params, seconds, mined.value().size(), stats.io, extra);
     }
   }
   table.Print();

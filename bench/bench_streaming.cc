@@ -69,17 +69,17 @@ int main(int argc, char** argv) {
          std::to_string(stats.open_convoys),
          std::to_string(result.value().size())});
 
-    std::ostringstream extra;
-    extra << ",\"ticks\":" << stats.ticks_ingested
-          << ",\"points_ingested\":" << stats.points_ingested
-          << ",\"append_ms_mean\":" << stats.append_latency.mean() * 1e3
-          << ",\"append_ms_max\":" << stats.append_latency.max() * 1e3
-          << ",\"finalize_ms\":" << finalize_seconds * 1e3
-          << ",\"closed_eagerly\":" << stats.closed_convoys
-          << ",\"open_at_finalize\":" << stats.open_convoys;
+    JsonFields extra;
+    extra.Int("ticks", stats.ticks_ingested)
+        .Int("points_ingested", stats.points_ingested)
+        .Num("append_ms_mean", stats.append_latency.mean() * 1e3)
+        .Num("append_ms_max", stats.append_latency.max() * 1e3)
+        .Num("finalize_ms", finalize_seconds * 1e3)
+        .Int("closed_eagerly", stats.closed_convoys)
+        .Int("open_at_finalize", stats.open_convoys);
     RecordMiningRun("k2hop-online", *store, params,
                     ingest_seconds + finalize_seconds, result.value().size(),
-                    stats.mining_io, extra.str());
+                    stats.mining_io, extra);
   }
   table.Print();
   std::cout << "\nonline == batch convoy sets (checked in-process); "

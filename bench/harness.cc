@@ -1,6 +1,8 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -47,6 +49,7 @@ JsonSink& Sink() {
 }
 
 std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
   std::ostringstream os;
   os << v;
   return os.str();
@@ -86,16 +89,70 @@ std::string ScaleTag() {
 
 }  // namespace
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonFields& JsonFields::Num(const std::string& key, double value) {
+  json_ += ",\"" + JsonEscape(key) + "\":" + JsonNumber(value);
+  return *this;
+}
+
+JsonFields& JsonFields::Int(const std::string& key, uint64_t value) {
+  json_ += ",\"" + JsonEscape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonFields& JsonFields::Str(const std::string& key, const std::string& value) {
+  json_ += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  return *this;
+}
+
 void RecordMiningRun(const std::string& miner, const Store& store,
                      const MiningParams& params, double seconds,
                      size_t convoys, const IoStats& io,
-                     const std::string& extra_json) {
+                     const JsonFields& extra) {
   JsonSink& sink = Sink();
   if (sink.path.empty()) return;
   std::ostringstream os;
-  os << "{\"bench\":\"" << sink.bench << "\",\"miner\":\"" << miner
-     << "\",\"store\":\"" << store.name() << "\",\"params\":{\"m\":"
-     << params.m << ",\"k\":" << params.k
+  os << "{\"bench\":\"" << JsonEscape(sink.bench) << "\",\"miner\":\""
+     << JsonEscape(miner) << "\",\"store\":\"" << JsonEscape(store.name())
+     << "\",\"params\":{\"m\":" << params.m << ",\"k\":" << params.k
      << ",\"eps\":" << JsonNumber(params.eps) << "},\"wall_ms\":"
      << JsonNumber(seconds * 1e3) << ",\"convoys\":" << convoys
      << ",\"io_stats\":{\"points_read\":" << io.points_read()
@@ -104,7 +161,7 @@ void RecordMiningRun(const std::string& miner, const Store& store,
      << ",\"bytes_read\":" << io.bytes_read << ",\"seeks\":" << io.seeks
      << ",\"pages_read\":" << io.pages_read
      << ",\"pages_cached\":" << io.pages_cached
-     << ",\"bloom_negative\":" << io.bloom_negative << "}" << extra_json
+     << ",\"bloom_negative\":" << io.bloom_negative << "}" << extra.json()
      << "}";
   sink.records.push_back(os.str());
 }

@@ -58,13 +58,34 @@ MineOutcome RunK2(Store* store, const MiningParams& params,
                   K2HopStats* stats = nullptr,
                   const K2HopOptions& options = {});
 
+/// Escapes `s` for embedding inside a JSON string literal: backslash,
+/// double quote, and control characters. Every string the --json sink
+/// writes goes through this — a quoted or backslashed path in argv[0] or a
+/// store name must not corrupt the snapshot file.
+std::string JsonEscape(const std::string& s);
+
+/// Typed extra fields for RecordMiningRun. Values are rendered as JSON
+/// numbers (non-finite mapped to null) or escaped strings, so no
+/// caller-assembled JSON is ever spliced into the record verbatim.
+class JsonFields {
+ public:
+  JsonFields& Num(const std::string& key, double value);
+  JsonFields& Int(const std::string& key, uint64_t value);
+  JsonFields& Str(const std::string& key, const std::string& value);
+
+  bool empty() const { return json_.empty(); }
+  /// ",\"key\":value..." — splices after the record's fixed fields.
+  const std::string& json() const { return json_; }
+
+ private:
+  std::string json_;
+};
+
 /// Appends one mining-run record to the --json sink (no-op without --json).
-/// `extra_json` is spliced verbatim into the record object and must either
-/// be empty or start with a comma (e.g. ",\"ticks\":1800").
 void RecordMiningRun(const std::string& miner, const Store& store,
                      const MiningParams& params, double seconds,
                      size_t convoys, const IoStats& io,
-                     const std::string& extra_json = "");
+                     const JsonFields& extra = {});
 MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
                      VcodaStats* stats = nullptr);
 MineOutcome RunSpare(Store* store, const MiningParams& params, int workers);

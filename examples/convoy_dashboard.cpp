@@ -1,0 +1,150 @@
+// Convoy dashboard — the serving layer end to end: movement data streams
+// into an OnlineK2HopMiner whose on_closed hook feeds a ConvoyCatalog,
+// while a background "dashboard" thread concurrently polls the catalog
+// through lock-free snapshots (the epoch/RCU read path). After the stream
+// ends, the catalog is reconciled with the authoritative Finalize() result
+// and queried the way operators would: who travels with object X? what
+// was alive during the rush window? what passed through the depot area?
+// top-k by duration and by size, and a composed conjunction of all three
+// predicates.
+#include <atomic>
+#include <iostream>
+#include <thread>
+
+#include "common/convoy.h"
+#include "core/online.h"
+#include "gen/brinkhoff.h"
+#include "serve/catalog.h"
+#include "serve/query.h"
+#include "storage/memory_store.h"
+
+namespace {
+
+void PrintConvoys(const std::string& title,
+                  const std::vector<k2::Convoy>& convoys, size_t limit = 5) {
+  std::cout << title << " (" << convoys.size() << ")\n";
+  for (size_t i = 0; i < std::min(limit, convoys.size()); ++i) {
+    const k2::Convoy& v = convoys[i];
+    std::cout << "    " << v.objects.size() << " objects, ticks [" << v.start
+              << ", " << v.end << "] (" << v.length() << " long): "
+              << v.objects.DebugString() << "\n";
+  }
+  if (convoys.size() > limit) {
+    std::cout << "    ... and " << convoys.size() - limit << " more\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  // City traffic for two simulated hours.
+  k2::BrinkhoffParams gen;
+  gen.grid.nx = 6;
+  gen.grid.ny = 6;
+  gen.grid.spacing = 500.0;
+  gen.max_time = 120;
+  gen.obj_begin = 150;
+  gen.obj_time = 4;
+  gen.seed = 13;
+  const k2::Dataset traffic = k2::GenerateBrinkhoff(gen);
+  std::cout << "ingesting " << traffic.DebugString() << "\n";
+
+  const k2::MiningParams params{2, 8, 150.0};
+
+  // Stream the ticks in; every convoy the miner closes is published to the
+  // catalog immediately, so the dashboard below serves results while the
+  // stream is still running.
+  k2::MemoryStore store;
+  k2::ConvoyCatalog catalog;
+  k2::OnlineK2HopOptions mining_options;
+  mining_options.on_closed = catalog.OnClosedHook(&store, /*publish_every=*/1);
+  k2::OnlineK2HopMiner miner(&store, params, mining_options);
+
+  // The dashboard thread: a concurrent reader polling published epochs
+  // while ingest runs. It never blocks the writer and never takes a lock.
+  std::atomic<bool> streaming{true};
+  std::atomic<uint64_t> polls{0};
+  uint64_t live_epoch = 0;
+  size_t live_size = 0;
+  std::thread dashboard([&] {
+    k2::ConvoyQueryEngine engine(&catalog);
+    while (streaming.load(std::memory_order_acquire)) {
+      const auto snap = engine.Pin();
+      live_epoch = snap->epoch();
+      live_size = snap->size();
+      polls.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  for (k2::Timestamp t : traffic.timestamps()) {
+    const auto status = miner.AppendTick(t, k2::SnapshotPoints(traffic, t));
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  auto mined = miner.Finalize();
+  if (!mined.ok()) {
+    std::cerr << mined.status().ToString() << "\n";
+    return 1;
+  }
+  streaming.store(false, std::memory_order_release);
+  dashboard.join();
+  if (!catalog.hook_status().ok()) {
+    std::cerr << catalog.hook_status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "dashboard thread made " << polls.load()
+            << " lock-free polls during ingest; last live view: epoch "
+            << live_epoch << " with " << live_size << " convoys\n";
+
+  // Reconcile with the authoritative result (Finalize may subsume an
+  // eagerly emitted convoy) and publish the final epoch.
+  if (auto s = catalog.ReplaceAll(mined.value(), &store); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const auto snap = catalog.Publish();
+  std::cout << "final catalog: epoch " << snap->epoch() << ", " << snap->size()
+            << " convoys, " << snap->footprint_points()
+            << " footprint points indexed\n\n";
+
+  k2::ConvoyQueryEngine engine(&catalog);
+
+  // The operator questions.
+  PrintConvoys("== top 5 longest convoys",
+               engine.TopK(k2::ConvoyRank::kLongest, 5));
+  std::cout << "\n";
+  PrintConvoys("== top 5 largest convoys",
+               engine.TopK(k2::ConvoyRank::kLargest, 5));
+
+  if (!snap->empty()) {
+    const k2::ObjectId probe = snap->convoy(0).objects.ids().front();
+    std::cout << "\n";
+    PrintConvoys("== convoys containing object " + std::to_string(probe),
+                 engine.ByObject(probe));
+  }
+
+  const k2::TimeRange rush{30, 60};
+  std::cout << "\n";
+  PrintConvoys("== convoys alive during rush window [30, 60]",
+               engine.ByTimeWindow(rush));
+
+  // The central quarter of the city.
+  const double west = gen.grid.spacing * gen.grid.nx;
+  const k2::Rect downtown{west * 0.375, west * 0.375, west * 0.625,
+                          west * 0.625};
+  std::cout << "\n";
+  PrintConvoys("== convoys passing through downtown",
+               engine.ByRegion(downtown));
+
+  // Composed: largest convoy that was downtown during the rush window.
+  k2::ConvoyQuery query;
+  query.time_window = rush;
+  query.region = downtown;
+  std::cout << "\n";
+  PrintConvoys("== downtown during rush, ranked by size",
+               engine.TopK(query, k2::ConvoyRank::kLargest, 3));
+  return 0;
+}

@@ -30,8 +30,21 @@ from collections import defaultdict
 
 
 def load(path):
-    with open(path) as fh:
-        return json.load(fh)
+    """Loads a snapshot, failing with a clear message (not a traceback) when
+    the file is missing or holds malformed JSON."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_compare: {path} is not valid JSON "
+                 f"(line {err.lineno} column {err.colno}: {err.msg}); "
+                 "regenerate it with scripts/bench_snapshot.sh")
+    if not isinstance(doc, dict) or not isinstance(doc.get("records"), list):
+        sys.exit(f"bench_compare: {path} is not a bench_snapshot.sh output "
+                 "(expected an object with a 'records' array)")
+    return doc
 
 
 def keyed(records):

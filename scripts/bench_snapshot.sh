@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the perf-snapshot benches (Fig. 8i phase breakdown, Fig. 8l
-# scalability, streaming ingest, partitioned shard sweep) in --json mode and
-# merges their records into one snapshot file, so MineK2Hop's end-to-end
-# wall time, the online miner's amortized per-tick cost, and the sharded
-# miner's seam behaviour are tracked PR over PR.
+# scalability, streaming ingest, partitioned shard sweep, catalog serving)
+# in --json mode and merges their records into one snapshot file, so
+# MineK2Hop's end-to-end wall time, the online miner's amortized per-tick
+# cost, the sharded miner's seam behaviour, and the ConvoyCatalog's
+# queries/sec are tracked PR over PR.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   BUILD_DIR       build tree with the bench binaries (default: build)
@@ -16,7 +17,7 @@ OUT=${1:-BENCH_k2hop.json}
 SCALE=${K2_BENCH_SCALE:-1}
 
 for bench in bench_fig8i_phases bench_fig8l_scalability bench_streaming \
-             bench_partitioned; do
+             bench_partitioned bench_serving; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not found; build with -DK2_BUILD_BENCH=ON" >&2
     exit 1
@@ -30,8 +31,9 @@ K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_fig8i_phases" --json "$tmp/fig8i.j
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_fig8l_scalability" --json "$tmp/fig8l.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_streaming" --json "$tmp/streaming.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_partitioned" --json "$tmp/partitioned.json"
+K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_serving" --json "$tmp/serving.json"
 
-python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json "$tmp"/partitioned.json <<'EOF'
+python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json "$tmp"/partitioned.json "$tmp"/serving.json <<'EOF'
 import datetime
 import json
 import platform

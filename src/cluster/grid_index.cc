@@ -116,4 +116,37 @@ void GridIndex::NeighborsOf(double x, double y, double eps,
   }
 }
 
+void GridIndex::Region(const Rect& rect, std::vector<uint32_t>* out) const {
+  if (px_.empty() || rect.empty()) return;
+  // Cell ranges in floating point first, like NeighborsOf: a far-away rect
+  // must not overflow the int64 cast.
+  const double fx0 = std::floor((rect.min_x - min_x_) * inv_cell_);
+  const double fx1 = std::floor((rect.max_x - min_x_) * inv_cell_);
+  const double fy0 = std::floor((rect.min_y - min_y_) * inv_cell_);
+  const double fy1 = std::floor((rect.max_y - min_y_) * inv_cell_);
+  if (fx1 < 0.0 || fy1 < 0.0 || fx0 >= static_cast<double>(nx_) ||
+      fy0 >= static_cast<double>(ny_)) {
+    return;
+  }
+  // Clamp in floating point BEFORE the integer cast: a gigantic rect must
+  // not overflow the int64 conversion.
+  const double last_x = static_cast<double>(nx_ - 1);
+  const double last_y = static_cast<double>(ny_ - 1);
+  const int64_t x0 = static_cast<int64_t>(std::clamp(fx0, 0.0, last_x));
+  const int64_t x1 = static_cast<int64_t>(std::clamp(fx1, 0.0, last_x));
+  const int64_t y0 = static_cast<int64_t>(std::clamp(fy0, 0.0, last_y));
+  const int64_t y1 = static_cast<int64_t>(std::clamp(fy1, 0.0, last_y));
+
+  for (int64_t ry = y0; ry <= y1; ++ry) {
+    // The row's covered cells are adjacent in the row-major layout: one
+    // contiguous segment of the CSR arrays per row.
+    const size_t base = static_cast<size_t>(ry * nx_);
+    const uint32_t lo = cell_starts_[base + static_cast<size_t>(x0)];
+    const uint32_t hi = cell_starts_[base + static_cast<size_t>(x1) + 1];
+    for (uint32_t j = lo; j < hi; ++j) {
+      if (rect.Contains(xs_[j], ys_[j])) out->push_back(point_ids_[j]);
+    }
+  }
+}
+
 }  // namespace k2

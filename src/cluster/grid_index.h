@@ -50,6 +50,13 @@ class GridIndex {
   void NeighborsOf(double x, double y, double eps,
                    std::vector<uint32_t>* out) const;
 
+  /// Appends to `out` the indices of all points inside `rect` (inclusive
+  /// bounds), in CSR scan order (row-major by cell, snapshot order within a
+  /// cell). Exact for any cell size — the rect test is applied per point —
+  /// so the eps the grid was built for does not constrain region queries
+  /// (the serving layer's footprint index relies on this).
+  void Region(const Rect& rect, std::vector<uint32_t>* out) const;
+
   size_t num_points() const { return px_.size(); }
   /// Number of non-empty cells.
   size_t num_cells() const { return num_occupied_cells_; }

@@ -69,6 +69,26 @@ struct TimeRange {
   }
 };
 
+/// Axis-aligned planar rectangle with inclusive bounds — the region
+/// predicate of the serving layer's spatial queries ("which convoys pass
+/// through R?"). Default-constructed rects are empty, mirroring TimeRange.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = -1.0;
+  double max_y = -1.0;
+
+  bool empty() const { return max_x < min_x || max_y < min_y; }
+  bool Contains(double x, double y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
 /// User parameters of the FC convoy mining problem (Def. 8): minimum convoy
 /// size `m`, minimum lifespan length `k` (in ticks), and the DBSCAN distance
 /// threshold `eps` (metres).

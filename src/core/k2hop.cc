@@ -36,14 +36,43 @@ std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
                                          const std::vector<ObjectSet>& right,
                                          int m) {
   std::vector<ObjectSet> out;
+  if (left.empty() || right.empty()) return out;
+  // Clusters of one tick are pairwise disjoint, so every object id belongs
+  // to at most one right cluster: one oid -> right-cluster-index map turns
+  // the all-pairs O(|left|·|right|) set intersections into a single
+  // O(total ids) hash join. The ids of a left cluster bucketed by right
+  // cluster ARE Intersect(left, right[r]) — and they arrive in the left
+  // cluster's sorted order, so each bucket is already a valid ObjectSet.
+  size_t total_right_ids = 0;
+  for (const ObjectSet& b : right) total_right_ids += b.size();
+  std::unordered_map<ObjectId, uint32_t> right_of;
+  right_of.reserve(total_right_ids);
+  for (uint32_t r = 0; r < right.size(); ++r) {
+    for (ObjectId oid : right[r]) right_of.emplace(oid, r);
+  }
+
+  std::vector<std::vector<ObjectId>> buckets(right.size());
+  std::vector<uint32_t> touched;
   for (const ObjectSet& a : left) {
-    for (const ObjectSet& b : right) {
-      ObjectSet x = ObjectSet::Intersect(a, b);
-      if (x.size() >= static_cast<size_t>(m)) out.push_back(std::move(x));
+    touched.clear();
+    for (ObjectId oid : a) {
+      const auto it = right_of.find(oid);
+      if (it == right_of.end()) continue;
+      std::vector<ObjectId>& bucket = buckets[it->second];
+      if (bucket.empty()) touched.push_back(it->second);
+      bucket.push_back(oid);
+    }
+    for (uint32_t r : touched) {
+      std::vector<ObjectId>& bucket = buckets[r];
+      if (bucket.size() >= static_cast<size_t>(m)) {
+        out.push_back(ObjectSet::FromSorted(std::move(bucket)));
+        bucket = {};
+      } else {
+        bucket.clear();
+      }
     }
   }
-  // Clusters of one tick are disjoint, so the intersections are pairwise
-  // disjoint as well; canonical order only.
+  // The surviving intersections are pairwise disjoint; canonical order only.
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -84,6 +84,9 @@ std::vector<Timestamp> BenchmarkPoints(TimeRange range, int k);
 
 /// Candidate clusters CC_i of one hop-window: pairwise intersections of the
 /// adjacent benchmark cluster sets, keeping sets of size >= m (Sec. 4.2).
+/// `right` must be pairwise disjoint (clusters of one tick always are) —
+/// the implementation joins through an object-id -> right-cluster map in
+/// O(total ids) instead of intersecting all pairs.
 std::vector<ObjectSet> CandidateClusters(const std::vector<ObjectSet>& left,
                                          const std::vector<ObjectSet>& right,
                                          int m);

@@ -34,6 +34,32 @@ std::vector<std::string> SplitComma(const std::string& line) {
   return fields;
 }
 
+/// Whole-field numeric parse via std::from_chars: no exceptions, no
+/// locale, and — unlike the std::sto* family this replaced — no silent
+/// acceptance of trailing junk ("5abc" used to parse as 5, and a malformed
+/// field threw std::invalid_argument through the whole process). A leading
+/// '+' is still accepted for compatibility (std::sto* allowed it;
+/// from_chars alone does not).
+template <typename T>
+bool ParseField(const std::string& field, T* out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  if (begin != end && *begin == '+' && begin + 1 != end &&
+      *(begin + 1) != '-') {
+    ++begin;
+  }
+  if (begin == end) return false;
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+Status RowParseError(const std::string& path, size_t line_no,
+                     const char* column, const std::string& field) {
+  return Status::Invalid(path + ":" + std::to_string(line_no) + ": column '" +
+                         column + "': cannot parse '" + field +
+                         "' as a number");
+}
+
 }  // namespace
 
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
@@ -79,14 +105,22 @@ Result<Dataset> ReadCsv(const std::string& path) {
       return Status::Invalid(path + ":" + std::to_string(line_no) +
                              ": too few fields");
     }
-    try {
-      builder.Add(static_cast<Timestamp>(std::stol(fields[col_t])),
-                  static_cast<ObjectId>(std::stoul(fields[col_oid])),
-                  std::stod(fields[col_x]), std::stod(fields[col_y]));
-    } catch (const std::exception&) {
-      return Status::Invalid(path + ":" + std::to_string(line_no) +
-                             ": unparsable row '" + line + "'");
+    Timestamp t = 0;
+    ObjectId oid = 0;
+    double x = 0.0, y = 0.0;
+    if (!ParseField(fields[col_t], &t)) {
+      return RowParseError(path, line_no, "t", fields[col_t]);
     }
+    if (!ParseField(fields[col_oid], &oid)) {
+      return RowParseError(path, line_no, "oid", fields[col_oid]);
+    }
+    if (!ParseField(fields[col_x], &x)) {
+      return RowParseError(path, line_no, "x", fields[col_x]);
+    }
+    if (!ParseField(fields[col_y], &y)) {
+      return RowParseError(path, line_no, "y", fields[col_y]);
+    }
+    builder.Add(t, oid, x, y);
   }
   return builder.Build();
 }

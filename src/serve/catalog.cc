@@ -1,0 +1,295 @@
+#include "serve/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace k2 {
+namespace detail {
+
+std::shared_ptr<const CatalogSnapshot> SnapshotCell::Load() const {
+  for (;;) {
+    const int s = active_.load(std::memory_order_seq_cst);
+    slots_[s].ingress.fetch_add(1, std::memory_order_seq_cst);
+    if (active_.load(std::memory_order_seq_cst) == s) {
+      // The re-check read the toggle that made slot s active (or a later
+      // state in which s still is): the writer's last write to this slot
+      // happens-before the toggle, so the copy below is race-free — and the
+      // writer cannot start overwriting s again before our egress bump.
+      std::shared_ptr<const CatalogSnapshot> snap = slots_[s].snap;
+      slots_[s].egress.fetch_add(1, std::memory_order_seq_cst);
+      return snap;
+    }
+    // Writer toggled between our two loads: back out and re-enter.
+    slots_[s].egress.fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+void SnapshotCell::Store(std::shared_ptr<const CatalogSnapshot> next) {
+  const int retired = 1 - active_.load(std::memory_order_relaxed);
+  // Wait out readers still inside the retired slot (they entered before the
+  // previous toggle; each only holds the slot for one pointer copy). Their
+  // egress increments synchronize-with these loads, ordering every such
+  // copy strictly before the overwrite below.
+  while (slots_[retired].ingress.load(std::memory_order_seq_cst) !=
+         slots_[retired].egress.load(std::memory_order_seq_cst)) {
+    std::this_thread::yield();
+  }
+  slots_[retired].snap = std::move(next);
+  active_.store(retired, std::memory_order_seq_cst);
+}
+
+}  // namespace detail
+
+void CatalogSnapshot::ByObject(ObjectId oid, std::vector<ConvoyId>* out) const {
+  out->clear();
+  const auto it = std::lower_bound(obj_oids_.begin(), obj_oids_.end(), oid);
+  if (it == obj_oids_.end() || *it != oid) return;
+  const size_t i = static_cast<size_t>(it - obj_oids_.begin());
+  out->assign(obj_postings_.begin() + obj_starts_[i],
+              obj_postings_.begin() + obj_starts_[i + 1]);
+}
+
+void CatalogSnapshot::ByTimeWindow(TimeRange window,
+                                   std::vector<ConvoyId>* out) const {
+  out->clear();
+  if (convoys_.empty() || window.empty()) return;
+  // Overlap = start <= window.end AND end >= window.start. convoys_ is
+  // start-sorted, so the first conjunct is a prefix cut; the segment tree
+  // reports the second inside that prefix in ascending id order.
+  const size_t limit = static_cast<size_t>(
+      std::upper_bound(convoys_.begin(), convoys_.end(), window.end,
+                       [](Timestamp t, const Convoy& c) {
+                         return t < c.start;
+                       }) -
+      convoys_.begin());
+  if (limit == 0) return;
+  ReportOverlaps(1, 0, seg_size_, window.start, limit, out);
+}
+
+void CatalogSnapshot::ReportOverlaps(size_t node, size_t lo, size_t hi,
+                                     Timestamp min_end, size_t limit,
+                                     std::vector<ConvoyId>* out) const {
+  if (lo >= limit || seg_max_end_[node] < min_end) return;
+  if (hi - lo == 1) {
+    if (lo < convoys_.size()) out->push_back(static_cast<ConvoyId>(lo));
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  ReportOverlaps(2 * node, lo, mid, min_end, limit, out);
+  ReportOverlaps(2 * node + 1, mid, hi, min_end, limit, out);
+}
+
+void CatalogSnapshot::ByRegion(const Rect& region,
+                               std::vector<ConvoyId>* out) const {
+  out->clear();
+  if (fp_convoy_.empty() || region.empty()) return;
+  std::vector<uint32_t> hits;
+  grid_.Region(region, &hits);
+  out->reserve(hits.size());
+  for (uint32_t p : hits) out->push_back(fp_convoy_[p]);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+bool CatalogSnapshot::RankBefore(ConvoyRank rank, ConvoyId a,
+                                 ConvoyId b) const {
+  if (rank == ConvoyRank::kLongest) {
+    const int64_t la = convoys_[a].length(), lb = convoys_[b].length();
+    if (la != lb) return la > lb;
+  } else {
+    const size_t sa = convoys_[a].objects.size(),
+                 sb = convoys_[b].objects.size();
+    if (sa != sb) return sa > sb;
+  }
+  return a < b;
+}
+
+ConvoyCatalog::ConvoyCatalog(CatalogOptions options)
+    : options_(std::move(options)) {
+  // Epoch 0: an empty snapshot, so snapshot() is never null.
+  snapshot_.Store(
+      std::shared_ptr<const CatalogSnapshot>(new CatalogSnapshot()));
+}
+
+Status ConvoyCatalog::AddConvoys(std::span<const Convoy> convoys,
+                                 Store* store) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  for (const Convoy& convoy : convoys) {
+    K2_RETURN_NOT_OK(AddLocked(convoy, store));
+  }
+  return Status::OK();
+}
+
+Status ConvoyCatalog::AddConvoy(const Convoy& convoy, Store* store) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return AddLocked(convoy, store);
+}
+
+Status ConvoyCatalog::AddLocked(const Convoy& convoy, Store* store) {
+  if (entries_.find(convoy) != entries_.end()) return Status::OK();
+  std::vector<FootprintPoint> footprint;
+  K2_RETURN_NOT_OK(ComputeFootprint(convoy, store, &footprint));
+  entries_.emplace(convoy, std::move(footprint));
+  return Status::OK();
+}
+
+Status ConvoyCatalog::ReplaceAll(std::span<const Convoy> convoys,
+                                 Store* store) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Build the replacement aside (copying reusable footprints) so an error
+  // mid-way leaves the current content untouched.
+  std::map<Convoy, std::vector<FootprintPoint>> next;
+  for (const Convoy& convoy : convoys) {
+    if (next.find(convoy) != next.end()) continue;
+    const auto it = entries_.find(convoy);
+    if (it != entries_.end()) {
+      next.emplace(convoy, it->second);
+      continue;
+    }
+    std::vector<FootprintPoint> footprint;
+    K2_RETURN_NOT_OK(ComputeFootprint(convoy, store, &footprint));
+    next.emplace(convoy, std::move(footprint));
+  }
+  entries_ = std::move(next);
+  return Status::OK();
+}
+
+Status ConvoyCatalog::ComputeFootprint(const Convoy& convoy, Store* store,
+                                       std::vector<FootprintPoint>* out) const {
+  const int64_t stride = std::max(1, options_.footprint_stride);
+  std::vector<SnapshotPoint> buf;
+  Timestamp t = convoy.start;
+  while (true) {
+    K2_RETURN_NOT_OK(store->GetPoints(t, convoy.objects, &buf));
+    for (const SnapshotPoint& p : buf) out->push_back({p.x, p.y});
+    if (t >= convoy.end) break;
+    // Always land on the final tick (arithmetic in 64 bits: the clamp must
+    // not overflow for lifespans near the Timestamp range edge).
+    t = static_cast<int64_t>(convoy.end) - t <= stride
+            ? convoy.end
+            : static_cast<Timestamp>(t + stride);
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const CatalogSnapshot> ConvoyCatalog::Publish() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PublishLocked();
+}
+
+std::shared_ptr<const CatalogSnapshot> ConvoyCatalog::PublishLocked() {
+  std::shared_ptr<CatalogSnapshot> snap(new CatalogSnapshot());
+  snap->epoch_ = ++epoch_;
+  const size_t n = entries_.size();
+  snap->convoys_.reserve(n);
+
+  std::vector<std::pair<ObjectId, ConvoyId>> postings;
+  std::vector<SnapshotPoint> fp_points;
+  for (const auto& [convoy, footprint] : entries_) {  // canonical order
+    const ConvoyId id = static_cast<ConvoyId>(snap->convoys_.size());
+    for (ObjectId oid : convoy.objects) postings.emplace_back(oid, id);
+    for (const FootprintPoint& p : footprint) {
+      fp_points.push_back({0, p.x, p.y});
+      snap->fp_convoy_.push_back(id);
+    }
+    snap->convoys_.push_back(convoy);
+  }
+
+  // Interval index: max-end segment tree over the start-sorted convoys.
+  snap->seg_size_ = 1;
+  while (snap->seg_size_ < std::max<size_t>(n, 1)) snap->seg_size_ *= 2;
+  snap->seg_max_end_.assign(2 * snap->seg_size_, kInvalidTimestamp);
+  for (size_t i = 0; i < n; ++i) {
+    snap->seg_max_end_[snap->seg_size_ + i] = snap->convoys_[i].end;
+  }
+  for (size_t i = snap->seg_size_ - 1; i > 0; --i) {
+    snap->seg_max_end_[i] =
+        std::max(snap->seg_max_end_[2 * i], snap->seg_max_end_[2 * i + 1]);
+  }
+
+  // Inverted object index: CSR postings, ids ascending per oid (the sort is
+  // by (oid, id) and ids were appended in ascending order).
+  std::sort(postings.begin(), postings.end());
+  snap->obj_postings_.reserve(postings.size());
+  for (const auto& [oid, id] : postings) {
+    if (snap->obj_oids_.empty() || snap->obj_oids_.back() != oid) {
+      snap->obj_oids_.push_back(oid);
+      snap->obj_starts_.push_back(
+          static_cast<uint32_t>(snap->obj_postings_.size()));
+    }
+    snap->obj_postings_.push_back(id);
+  }
+  snap->obj_starts_.push_back(
+      static_cast<uint32_t>(snap->obj_postings_.size()));
+
+  // Spatial footprint grid. Default cell side targets about one footprint
+  // point per cell; GridIndex::Build grows it further if the bounding box
+  // would shatter (degenerate: all points coincident -> side 1).
+  if (!fp_points.empty()) {
+    double cell = options_.grid_cell_size;
+    if (cell <= 0.0) {
+      double min_x = fp_points[0].x, max_x = fp_points[0].x;
+      double min_y = fp_points[0].y, max_y = fp_points[0].y;
+      for (const SnapshotPoint& p : fp_points) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+      const double area = (max_x - min_x) * (max_y - min_y);
+      cell = area > 0.0
+                 ? std::sqrt(area / static_cast<double>(fp_points.size()))
+                 : std::max(max_x - min_x, max_y - min_y);
+      if (cell <= 0.0) cell = 1.0;
+    }
+    snap->grid_.Build(fp_points, cell);
+  }
+
+  // Rank orders: metric descending, ties by ascending id.
+  snap->by_length_.resize(n);
+  snap->by_size_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    snap->by_length_[i] = snap->by_size_[i] = static_cast<ConvoyId>(i);
+  }
+  const CatalogSnapshot* s = snap.get();
+  std::sort(snap->by_length_.begin(), snap->by_length_.end(),
+            [s](ConvoyId a, ConvoyId b) {
+              return s->RankBefore(ConvoyRank::kLongest, a, b);
+            });
+  std::sort(snap->by_size_.begin(), snap->by_size_.end(),
+            [s](ConvoyId a, ConvoyId b) {
+              return s->RankBefore(ConvoyRank::kLargest, a, b);
+            });
+
+  std::shared_ptr<const CatalogSnapshot> published = std::move(snap);
+  snapshot_.Store(published);
+  return published;
+}
+
+size_t ConvoyCatalog::pending_size() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return entries_.size();
+}
+
+Status ConvoyCatalog::hook_status() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return hook_status_;
+}
+
+std::function<void(const Convoy&)> ConvoyCatalog::OnClosedHook(
+    Store* store, size_t publish_every) {
+  return [this, store, publish_every, ingested = size_t{0}](
+             const Convoy& convoy) mutable {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const Status status = AddLocked(convoy, store);
+    if (!status.ok()) {
+      if (hook_status_.ok()) hook_status_ = status;
+      return;
+    }
+    if (publish_every > 0 && ++ingested % publish_every == 0) PublishLocked();
+  };
+}
+
+}  // namespace k2

@@ -106,6 +106,86 @@ TEST(CsvTest, MalformedRowIsError) {
   EXPECT_FALSE(ds.ok());
 }
 
+TEST(CsvTest, MalformedFieldErrorNamesRowAndColumn) {
+  const std::string path = ScratchDir("csv_bad_field") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n1,2,3.0,4.0\n2,7,oops,4.0\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalid);
+  EXPECT_NE(ds.status().message().find(":3"), std::string::npos)
+      << ds.status().message();
+  EXPECT_NE(ds.status().message().find("column 'x'"), std::string::npos)
+      << ds.status().message();
+  EXPECT_NE(ds.status().message().find("oops"), std::string::npos)
+      << ds.status().message();
+}
+
+TEST(CsvTest, TrailingJunkInNumericFieldIsError) {
+  // std::stol used to stop at the junk and silently parse "5abc" as 5.
+  const std::string path = ScratchDir("csv_junk") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n5abc,2,3.0,4.0\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_NE(ds.status().message().find("column 't'"), std::string::npos)
+      << ds.status().message();
+}
+
+TEST(CsvTest, LeadingPlusSignStillParses) {
+  // std::stod/stol accepted an explicit '+'; the from_chars rewrite keeps
+  // that compatibility (but "+-3" stays invalid).
+  const std::string path = ScratchDir("csv_plus") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n+1,+2,+3.5,-4.0\n2,3,+-5.0,0\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_FALSE(ds.ok());  // row 3 has the "+-5.0" field
+  EXPECT_NE(ds.status().message().find(":3"), std::string::npos)
+      << ds.status().message();
+
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n+1,+2,+3.5,-4.0\n";
+  }
+  auto good = ReadCsv(path);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_EQ(good.value().num_points(), 1u);
+  EXPECT_EQ(good.value().records()[0].t, 1);
+  EXPECT_EQ(good.value().records()[0].oid, 2u);
+  EXPECT_EQ(good.value().records()[0].x, 3.5);
+  EXPECT_EQ(good.value().records()[0].y, -4.0);
+}
+
+TEST(CsvTest, OutOfRangeValueIsError) {
+  const std::string path = ScratchDir("csv_range") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n99999999999999999999,2,3.0,4.0\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalid);
+}
+
+TEST(CsvTest, NegativeObjectIdIsError) {
+  // oid is unsigned; std::stoul used to wrap "-1" around to 4294967295.
+  const std::string path = ScratchDir("csv_negoid") + "/data.csv";
+  {
+    std::ofstream out(path);
+    out << "t,oid,x,y\n1,-1,3.0,4.0\n";
+  }
+  auto ds = ReadCsv(path);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_NE(ds.status().message().find("column 'oid'"), std::string::npos)
+      << ds.status().message();
+}
+
 TEST(CsvTest, MissingFileIsIOError) {
   auto ds = ReadCsv("/nonexistent/nowhere.csv");
   ASSERT_FALSE(ds.ok());

@@ -5,6 +5,7 @@
 
 #include "baselines/gold.h"
 #include "cluster/store_clustering.h"
+#include "common/rng.h"
 #include "core/k2hop.h"
 #include "gen/synthetic.h"
 #include "storage/memory_store.h"
@@ -75,6 +76,68 @@ TEST(CandidateClustersTest, PaperSection42Example) {
   ASSERT_EQ(cc.size(), 2u);
   EXPECT_EQ(cc[0], ObjectSet::Of({1, 2, 3}));
   EXPECT_EQ(cc[1], ObjectSet::Of({6, 7, 8}));
+}
+
+// Reference implementation of CandidateClusters before the hash-join
+// rewrite: all-pairs merge intersections. The randomized property test
+// below pins the rewrite to it on disjoint cluster sets.
+std::vector<ObjectSet> CandidateClustersAllPairs(
+    const std::vector<ObjectSet>& left, const std::vector<ObjectSet>& right,
+    int m) {
+  std::vector<ObjectSet> out;
+  for (const ObjectSet& a : left) {
+    for (const ObjectSet& b : right) {
+      ObjectSet x = ObjectSet::Intersect(a, b);
+      if (x.size() >= static_cast<size_t>(m)) out.push_back(std::move(x));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Random partition of a subset of [0, universe) into disjoint clusters —
+// the shape DBSCAN output always has within one tick.
+std::vector<ObjectSet> RandomDisjointClusters(Rng* rng, ObjectId universe,
+                                              int max_clusters) {
+  std::vector<ObjectId> ids;
+  for (ObjectId oid = 0; oid < universe; ++oid) {
+    if (rng->NextInt(3) != 0) ids.push_back(oid);  // ~2/3 of objects present
+  }
+  // Shuffle, then cut into random contiguous chunks.
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng->NextInt(i)]);
+  }
+  std::vector<ObjectSet> clusters;
+  size_t at = 0;
+  const int n_clusters = 1 + static_cast<int>(rng->NextInt(max_clusters));
+  for (int c = 0; c < n_clusters && at < ids.size(); ++c) {
+    const size_t remaining = ids.size() - at;
+    const size_t take = c + 1 == n_clusters
+                            ? remaining
+                            : 1 + rng->NextInt(remaining);
+    clusters.push_back(ObjectSet(std::vector<ObjectId>(
+        ids.begin() + at, ids.begin() + at + take)));
+    at += take;
+  }
+  return clusters;
+}
+
+TEST(CandidateClustersTest, HashJoinMatchesAllPairsOnRandomPartitions) {
+  Rng rng(20260726);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ObjectId universe = 2 + static_cast<ObjectId>(rng.NextInt(60));
+    const std::vector<ObjectSet> left =
+        RandomDisjointClusters(&rng, universe, 6);
+    const std::vector<ObjectSet> right =
+        RandomDisjointClusters(&rng, universe, 6);
+    const int m = 2 + static_cast<int>(rng.NextInt(4));
+    const std::vector<ObjectSet> joined = CandidateClusters(left, right, m);
+    const std::vector<ObjectSet> reference =
+        CandidateClustersAllPairs(left, right, m);
+    ASSERT_EQ(joined, reference)
+        << "trial " << trial << ": universe=" << universe << " m=" << m
+        << " left=" << left.size() << " right=" << right.size();
+  }
 }
 
 TEST(CandidateClustersTest, EmptyWhenNothingSurvives) {

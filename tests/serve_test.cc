@@ -1,0 +1,307 @@
+// Unit tests for the serving layer: ConvoyCatalog index correctness
+// (interval, inverted object, spatial footprint), the typed query API and
+// its conjunctions, RCU snapshot semantics (readers keep their epoch while
+// the writer publishes new ones), the OnlineK2HopMiner on_closed adapter,
+// and concurrent readers hammering the catalog during ingest (run under
+// TSan in CI).
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/k2hop.h"
+#include "core/online.h"
+#include "serve/catalog.h"
+#include "serve/query.h"
+#include "tests/test_util.h"
+
+namespace k2 {
+namespace {
+
+using ::k2::testing::C;
+using ::k2::testing::MakeDataset;
+using ::k2::testing::MakeMemStore;
+
+// Three convoys with hand-picked lifespans and positions:
+//   A = ({1, 2}, [0, 5])    along y = 0, x in [0, 51]
+//   B = ({2, 3}, [6, 11])   along y = 100, x in [0, 51] (oid 2 moves on)
+//   C = ({4, 5, 6}, [20, 23]) parked near (1000, 1000)
+class ServeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::tuple<Timestamp, ObjectId, double, double>> rows;
+    for (Timestamp t = 0; t <= 5; ++t) {
+      rows.push_back({t, 1, t * 10.0, 0.0});
+      rows.push_back({t, 2, t * 10.0 + 1.0, 0.0});
+    }
+    for (Timestamp t = 6; t <= 11; ++t) {
+      rows.push_back({t, 2, (t - 6) * 10.0, 100.0});
+      rows.push_back({t, 3, (t - 6) * 10.0 + 1.0, 100.0});
+    }
+    for (Timestamp t = 20; t <= 23; ++t) {
+      for (ObjectId oid = 4; oid <= 6; ++oid) {
+        rows.push_back({t, oid, 1000.0 + oid, 1000.0});
+      }
+    }
+    store_ = MakeMemStore(MakeDataset(rows));
+    a_ = C({1, 2}, 0, 5);
+    b_ = C({2, 3}, 6, 11);
+    c_ = C({4, 5, 6}, 20, 23);
+    ASSERT_TRUE(
+        catalog_.AddConvoys(std::vector<Convoy>{a_, b_, c_}, store_.get())
+            .ok());
+    catalog_.Publish();
+  }
+
+  std::unique_ptr<MemoryStore> store_;
+  ConvoyCatalog catalog_;
+  Convoy a_, b_, c_;
+};
+
+TEST(ServeEmptyTest, EmptyCatalogAnswersNothing) {
+  ConvoyCatalog catalog;
+  ConvoyQueryEngine engine(&catalog);
+  EXPECT_EQ(catalog.snapshot()->epoch(), 0u);
+  EXPECT_TRUE(engine.ByObject(1).empty());
+  EXPECT_TRUE(engine.ByTimeWindow({0, 100}).empty());
+  EXPECT_TRUE(engine.ByRegion(Rect{-1e9, -1e9, 1e9, 1e9}).empty());
+  EXPECT_TRUE(engine.TopK(ConvoyRank::kLongest, 5).empty());
+  EXPECT_TRUE(engine.Find({}).empty());
+}
+
+TEST_F(ServeFixture, ByObjectFindsContainingConvoys) {
+  ConvoyQueryEngine engine(&catalog_);
+  EXPECT_EQ(engine.ByObject(1), (std::vector<Convoy>{a_}));
+  EXPECT_EQ(engine.ByObject(2), (std::vector<Convoy>{a_, b_}));
+  EXPECT_EQ(engine.ByObject(5), (std::vector<Convoy>{c_}));
+  EXPECT_TRUE(engine.ByObject(99).empty());
+}
+
+TEST_F(ServeFixture, ByTimeWindowOverlapSemantics) {
+  ConvoyQueryEngine engine(&catalog_);
+  // Overlap is inclusive on both ends.
+  EXPECT_EQ(engine.ByTimeWindow({5, 6}), (std::vector<Convoy>{a_, b_}));
+  EXPECT_EQ(engine.ByTimeWindow({5, 5}), (std::vector<Convoy>{a_}));
+  EXPECT_EQ(engine.ByTimeWindow({0, 3}), (std::vector<Convoy>{a_}));
+  EXPECT_EQ(engine.ByTimeWindow({11, 20}), (std::vector<Convoy>{b_, c_}));
+  EXPECT_EQ(engine.ByTimeWindow({0, 100}), (std::vector<Convoy>{a_, b_, c_}));
+  EXPECT_TRUE(engine.ByTimeWindow({12, 19}).empty());
+  EXPECT_TRUE(engine.ByTimeWindow({24, 3}).empty());  // empty window
+}
+
+TEST_F(ServeFixture, ByRegionFindsConvoysPassingThrough) {
+  ConvoyQueryEngine engine(&catalog_);
+  // y = 0 corridor: only A.
+  EXPECT_EQ(engine.ByRegion(Rect{-10.0, -1.0, 60.0, 1.0}),
+            (std::vector<Convoy>{a_}));
+  // The parked cluster.
+  EXPECT_EQ(engine.ByRegion(Rect{990.0, 990.0, 1010.0, 1010.0}),
+            (std::vector<Convoy>{c_}));
+  // Both corridors.
+  EXPECT_EQ(engine.ByRegion(Rect{-10.0, -1.0, 60.0, 101.0}),
+            (std::vector<Convoy>{a_, b_}));
+  EXPECT_TRUE(engine.ByRegion(Rect{-500.0, -500.0, -400.0, -400.0}).empty());
+}
+
+TEST_F(ServeFixture, TopKRanksAndTruncates) {
+  ConvoyQueryEngine engine(&catalog_);
+  // Longest: A (6) == B (6) tie-broken by canonical order, then C (4).
+  EXPECT_EQ(engine.TopK(ConvoyRank::kLongest, 2),
+            (std::vector<Convoy>{a_, b_}));
+  // Largest: C (3 objects) first.
+  EXPECT_EQ(engine.TopK(ConvoyRank::kLargest, 1), (std::vector<Convoy>{c_}));
+  // k beyond size returns everything.
+  EXPECT_EQ(engine.TopK(ConvoyRank::kLargest, 10).size(), 3u);
+}
+
+TEST_F(ServeFixture, ConjunctionsIntersect) {
+  ConvoyQueryEngine engine(&catalog_);
+  ConvoyQuery query;
+  query.object = 2;
+  query.time_window = TimeRange{6, 9};
+  EXPECT_EQ(engine.Find(query), (std::vector<Convoy>{b_}));
+
+  query.region = Rect{-10.0, -1.0, 60.0, 1.0};  // y = 0 corridor: A only
+  EXPECT_TRUE(engine.Find(query).empty());
+
+  ConvoyQuery by_region_and_time;
+  by_region_and_time.time_window = TimeRange{0, 30};
+  by_region_and_time.region = Rect{900.0, 900.0, 1100.0, 1100.0};
+  EXPECT_EQ(engine.Find(by_region_and_time), (std::vector<Convoy>{c_}));
+
+  // TopK over a filtered set.
+  ConvoyQuery contains2;
+  contains2.object = 2;
+  EXPECT_EQ(engine.TopK(contains2, ConvoyRank::kLargest, 1),
+            (std::vector<Convoy>{a_}));
+}
+
+TEST_F(ServeFixture, SnapshotsAreImmutableAcrossPublishes) {
+  const auto pinned = catalog_.snapshot();
+  const uint64_t pinned_epoch = pinned->epoch();
+  ASSERT_EQ(pinned->size(), 3u);
+
+  const Convoy extra = C({7, 8}, 0, 9);
+  // Give the new objects some positions so the footprint read succeeds.
+  // (They are absent from the store, which is also fine: GetPoints skips
+  // absent objects, yielding an empty footprint.)
+  ASSERT_TRUE(catalog_.AddConvoy(extra, store_.get()).ok());
+  EXPECT_EQ(catalog_.pending_size(), 4u);
+  // Not yet published: readers still see the old epoch.
+  EXPECT_EQ(catalog_.snapshot()->epoch(), pinned_epoch);
+
+  const auto next = catalog_.Publish();
+  EXPECT_EQ(next->epoch(), pinned_epoch + 1);
+  EXPECT_EQ(next->size(), 4u);
+  // The pinned snapshot is unchanged — snapshot consistency under ingest.
+  EXPECT_EQ(pinned->size(), 3u);
+  std::vector<ConvoyId> ids;
+  pinned->ByObject(7, &ids);
+  EXPECT_TRUE(ids.empty());
+  next->ByObject(7, &ids);
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST_F(ServeFixture, ReplaceAllDropsStaleConvoys) {
+  // Keep A and C, drop B — the reconcile path after Finalize().
+  ASSERT_TRUE(
+      catalog_.ReplaceAll(std::vector<Convoy>{a_, c_}, store_.get()).ok());
+  const auto snap = catalog_.Publish();
+  EXPECT_EQ(snap->convoys(), (std::vector<Convoy>{a_, c_}));
+  std::vector<ConvoyId> ids;
+  snap->ByObject(3, &ids);
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST_F(ServeFixture, DuplicateAddIsNoOp) {
+  ASSERT_TRUE(catalog_.AddConvoy(a_, store_.get()).ok());
+  EXPECT_EQ(catalog_.pending_size(), 3u);
+}
+
+TEST(ServeOnlineTest, OnClosedHookMatchesBulkFedCatalog) {
+  // A dataset with two disjoint convoys that both end well before the
+  // stream does, so the eager channel closes them mid-stream.
+  std::vector<std::tuple<Timestamp, ObjectId, double, double>> rows;
+  for (Timestamp t = 0; t <= 7; ++t) {
+    rows.push_back({t, 1, t * 5.0, 0.0});
+    rows.push_back({t, 2, t * 5.0 + 1.0, 0.0});
+  }
+  for (Timestamp t = 2; t <= 11; ++t) {
+    rows.push_back({t, 3, t * 5.0, 200.0});
+    rows.push_back({t, 4, t * 5.0 + 1.0, 200.0});
+  }
+  for (Timestamp t = 0; t <= 30; ++t) {
+    rows.push_back({t, 9, 5000.0 + 40.0 * t, 5000.0});  // lone straggler
+  }
+  const Dataset data = MakeDataset(rows);
+  const MiningParams params{2, 3, 2.0};
+
+  // Batch reference catalog.
+  auto batch_store = MakeMemStore(data);
+  auto batch = MineK2Hop(batch_store.get(), params);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_FALSE(batch.value().empty());
+  ConvoyCatalog batch_catalog;
+  ASSERT_TRUE(batch_catalog.AddConvoys(batch.value(), batch_store.get()).ok());
+  batch_catalog.Publish();
+
+  // Online-fed catalog: hook publishes per closed convoy; ReplaceAll with
+  // the authoritative Finalize() result reconciles.
+  MemoryStore stream_store;
+  ConvoyCatalog online_catalog;
+  OnlineK2HopOptions options;
+  options.on_closed = online_catalog.OnClosedHook(&stream_store, 1);
+  OnlineK2HopMiner miner(&stream_store, params, options);
+  for (Timestamp t : data.timestamps()) {
+    ASSERT_TRUE(miner.AppendTick(t, SnapshotPoints(data, t)).ok());
+  }
+  // Both convoys end long before the final tick: the eager channel must
+  // have published them already.
+  EXPECT_GE(online_catalog.snapshot()->size(), 2u);
+  auto final_result = miner.Finalize();
+  ASSERT_TRUE(final_result.ok());
+  ASSERT_TRUE(online_catalog.hook_status().ok());
+  ASSERT_TRUE(
+      online_catalog.ReplaceAll(final_result.value(), &stream_store).ok());
+  const auto online_snap = online_catalog.Publish();
+
+  const auto batch_snap = batch_catalog.snapshot();
+  EXPECT_EQ(online_snap->convoys(), batch_snap->convoys());
+  EXPECT_EQ(online_snap->footprint_points(), batch_snap->footprint_points());
+}
+
+TEST(ServeConcurrencyTest, ConcurrentReadersDuringIngest) {
+  // Writer ingests convoy batches and republishes; readers hammer the
+  // catalog through the engine the whole time. Run under TSan in CI: the
+  // only shared mutable state on the read path must be the atomic
+  // shared_ptr swap.
+  std::vector<std::tuple<Timestamp, ObjectId, double, double>> rows;
+  constexpr int kConvoys = 40;
+  for (ObjectId pair = 0; pair < kConvoys; ++pair) {
+    for (Timestamp t = 0; t <= 6; ++t) {
+      rows.push_back({t, 2 * pair, pair * 100.0 + t, 0.0});
+      rows.push_back({t, 2 * pair + 1, pair * 100.0 + t + 0.5, 0.0});
+    }
+  }
+  auto store = MakeMemStore(MakeDataset(rows));
+  std::vector<Convoy> convoys;
+  for (ObjectId pair = 0; pair < kConvoys; ++pair) {
+    convoys.push_back(C({2 * pair, 2 * pair + 1}, 0, 6));
+  }
+
+  ConvoyCatalog catalog;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&catalog, &done, &failures, r] {
+      ConvoyQueryEngine engine(&catalog);
+      uint64_t last_epoch = 0;
+      ObjectId probe = static_cast<ObjectId>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = engine.Pin();
+        // Epochs may only move forward.
+        if (snap->epoch() < last_epoch) ++failures;
+        last_epoch = snap->epoch();
+        // Any answer must be internally consistent with the pinned
+        // snapshot: ids ascending and within range.
+        std::vector<ConvoyId> ids;
+        ConvoyQuery query;
+        query.time_window = TimeRange{0, 100};
+        ConvoyQueryEngine::FindIds(*snap, query, &ids);
+        if (ids.size() != snap->size()) ++failures;
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (ids[i] != i) ++failures;
+        }
+        snap->ByObject(probe, &ids);
+        for (ConvoyId id : ids) {
+          if (!snap->convoy(id).objects.Contains(probe)) ++failures;
+        }
+        probe = (probe + 7) % (2 * kConvoys);
+        std::vector<ConvoyId> top;
+        ConvoyQueryEngine::TopKIds(*snap, {}, ConvoyRank::kLongest,
+                                   5, &top);
+        if (top.size() > 5) ++failures;
+      }
+    });
+  }
+
+  // Ingest in batches of 4, publishing after every batch.
+  for (size_t at = 0; at < convoys.size(); at += 4) {
+    const size_t n = std::min<size_t>(4, convoys.size() - at);
+    ASSERT_TRUE(catalog
+                    .AddConvoys(std::span<const Convoy>(&convoys[at], n),
+                                store.get())
+                    .ok());
+    catalog.Publish();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(catalog.snapshot()->size(), convoys.size());
+}
+
+}  // namespace
+}  // namespace k2
