@@ -15,7 +15,12 @@ exit 1 — when:
     any drift is a correctness bug, no tolerance);
   * a record's wall time exceeds baseline * tolerance (default 2.0,
     override with --tolerance or K2_BENCH_TIME_TOL), ignoring records
-    where both sides are under --min-ms (default 5 ms, pure noise).
+    where both sides are under --min-ms (default 5 ms, pure noise);
+  * a latency-percentile field (any numeric key ending in _p50, _p99 or
+    _p999, e.g. the streaming bench's append_ms_p99) exceeds baseline *
+    tolerance, ignoring fields where both sides are under --min-pct-ms
+    (default 1 ms). Tail percentiles guard the ingest path: a compaction
+    or flush moving back onto the foreground shows up here first.
 
 Records only present in the fresh snapshot (newly added benches) and large
 speedups are reported but never fail the guard — regenerate and commit the
@@ -60,6 +65,20 @@ def keyed(records):
     return out
 
 
+PERCENTILE_SUFFIXES = ("_p50", "_p99", "_p999")
+
+
+def percentile_fields(base, live):
+    """Sorted numeric latency-percentile keys present in both records."""
+    fields = []
+    for key, value in base.items():
+        if (key.endswith(PERCENTILE_SUFFIXES)
+                and isinstance(value, (int, float))
+                and isinstance(live.get(key), (int, float))):
+            fields.append(key)
+    return sorted(fields)
+
+
 def fmt_key(key):
     bench, miner, store, m, k, eps, occ = key
     tag = f"{bench}/{miner}/{store} m={m} k={k} eps={eps}"
@@ -80,6 +99,11 @@ def main():
         type=float,
         default=5.0,
         help="skip wall-time checks when both sides are below this (ms)")
+    parser.add_argument(
+        "--min-pct-ms",
+        type=float,
+        default=1.0,
+        help="skip percentile-field checks when both sides are below this (ms)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -107,6 +131,16 @@ def main():
             failures.append(
                 f"{tag}: convoy count drifted {base.get('convoys')} -> "
                 f"{live.get('convoys')} (must be exact)")
+        for field in percentile_fields(base, live):
+            base_p = float(base[field])
+            live_p = float(live[field])
+            if base_p < args.min_pct_ms and live_p < args.min_pct_ms:
+                continue
+            if live_p > base_p * args.tolerance:
+                failures.append(
+                    f"{tag}: {field} {base_p:.3f} ms -> {live_p:.3f} ms "
+                    f"({live_p / max(base_p, 1e-9):.2f}x > "
+                    f"{args.tolerance:.1f}x tolerance)")
         base_ms = float(base.get("wall_ms", 0.0))
         live_ms = float(live.get("wall_ms", 0.0))
         if base_ms < args.min_ms and live_ms < args.min_ms:

@@ -1,0 +1,346 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace k2 {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// POSIX implementation
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : WritableFile(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("write failed on", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync failed on", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoError("close failed on", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+/// Fsyncs the directory containing `path` so a just-completed rename or
+/// create survives a crash of the file system's metadata journal.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync failed on directory", dir);
+  return Status::OK();
+}
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoError("cannot create", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("cannot rename " + from + " to", to);
+    }
+    return SyncParentDir(to);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoError("cannot remove", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoError("cannot open", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return ErrnoError("read failed on", path);
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
+    return names;
+  }
+};
+
+Status DeadEnvError() {
+  return Status::IOError("fault-injection env is down (simulated crash)");
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // never destroyed: shared by stores
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+/// Write-through wrapper that charges durability ops to the env and tracks
+/// the synced-vs-unsynced split per file.
+class FaultInjectionFile final : public WritableFile {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : WritableFile(std::move(path)), env_(env), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return DeadEnvError();
+    const uint64_t op = env_->op_count_++;
+    const bool fire =
+        env_->armed_ && !env_->triggered_ && op >= env_->fail_at_op_;
+    if (fire && env_->mode_ == FaultMode::kFailOp) {
+      env_->triggered_ = true;
+      env_->armed_ = false;
+      return Status::IOError("injected append failure at op " +
+                             std::to_string(op));
+    }
+    K2_RETURN_NOT_OK(base_->Append(data, n));
+    env_->files_[path_].size += n;
+    if (fire) {
+      // kCrash loses every unsynced byte of every file; kTornWrite keeps a
+      // prefix of this file's unsynced region (a write torn mid-way).
+      env_->triggered_ = true;
+      env_->CrashLocked(env_->mode_ == FaultMode::kTornWrite ? path_
+                                                             : std::string());
+      return Status::IOError("injected crash during append at op " +
+                             std::to_string(op));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    K2_RETURN_NOT_OK(env_->BeforeOpLocked());
+    K2_RETURN_NOT_OK(base_->Sync());
+    auto& st = env_->files_[path_];
+    st.synced_size = st.size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    K2_RETURN_NOT_OK(env_->BeforeOpLocked());
+    return base_->Close();
+  }
+
+ private:
+  using FaultMode = FaultInjectionEnv::FaultMode;
+  FaultInjectionEnv* const env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::ArmFault(FaultMode mode, uint64_t fail_at_op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+  fail_at_op_ = fail_at_op;
+  armed_ = mode != FaultMode::kNone;
+  triggered_ = false;
+  crashed_ = false;
+}
+
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool FaultInjectionEnv::triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggered_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::CrashNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crashed_) CrashLocked(std::string());
+}
+
+Status FaultInjectionEnv::BeforeOpLocked(const std::string& appending_path) {
+  if (crashed_) return DeadEnvError();
+  const uint64_t op = op_count_++;
+  if (!armed_ || triggered_ || op < fail_at_op_) return Status::OK();
+  triggered_ = true;
+  switch (mode_) {
+    case FaultMode::kFailOp:
+      armed_ = false;
+      return Status::IOError("injected failure at op " + std::to_string(op));
+    case FaultMode::kCrash:
+    case FaultMode::kTornWrite:
+      // A torn write only makes sense mid-Append (handled in the file
+      // wrapper); on any other op both modes are a clean power cut.
+      CrashLocked(appending_path);
+      return Status::IOError("injected crash at op " + std::to_string(op));
+    case FaultMode::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::CrashLocked(const std::string& torn_path) {
+  crashed_ = true;
+  for (auto& [path, st] : files_) {
+    uint64_t keep = st.synced_size;
+    if (path == torn_path && st.size > st.synced_size) {
+      // Half of the unsynced region survives, at least one byte, so the
+      // recovered file ends mid-record — the torn-write shape WAL framing
+      // and SSTable footer validation must reject cleanly.
+      const uint64_t unsynced = st.size - st.synced_size;
+      keep = st.synced_size + std::max<uint64_t>(1, unsynced / 2);
+    }
+    if (keep < st.size) {
+      ::truncate(path.c_str(), static_cast<off_t>(keep));
+      st.size = keep;
+    }
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    K2_RETURN_NOT_OK(BeforeOpLocked());
+    files_[path] = FileState{};  // O_TRUNC semantics: fresh, nothing durable
+  }
+  auto base_file = base_->NewWritableFile(path);
+  if (!base_file.ok()) return base_file.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionFile(this, path, base_file.MoveValue()));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(BeforeOpLocked());
+  K2_RETURN_NOT_OK(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(BeforeOpLocked());
+  K2_RETURN_NOT_OK(base_->RemoveFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return DeadEnvError();
+  return base_->CreateDirs(dir);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return base_->FileExists(path);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return DeadEnvError();
+  return base_->ReadFileToString(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return DeadEnvError();
+  return base_->ListDir(dir);
+}
+
+}  // namespace k2

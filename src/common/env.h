@@ -1,0 +1,147 @@
+// Injectable file-system shim for the storage write path (LevelDB-style
+// `Env`). Everything the LSM store persists — WAL frames, SSTable files,
+// the MANIFEST — goes through an Env, so tests can substitute
+// FaultInjectionEnv and fail, tear, or "crash" the process state at the Nth
+// durability operation, then reopen against the real file system and check
+// that recovery reconstructs exactly the durable prefix.
+#ifndef K2_COMMON_ENV_H_
+#define K2_COMMON_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace k2 {
+
+/// Append-only writable file. Append buffers in the OS (or the wrapper);
+/// bytes are durable only after Sync() returns OK. Close() flushes
+/// user-space buffers but does NOT imply Sync — a crash after Close can
+/// still lose everything written since the last Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+  const std::string& path() const { return path_; }
+
+ protected:
+  explicit WritableFile(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+/// File-system operations the LSM write path depends on. Default() is the
+/// process-wide POSIX implementation; tests inject FaultInjectionEnv.
+/// Implementations must be safe to call from multiple threads (the store's
+/// background compaction thread and the foreground writer share one Env).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The real file system. Never deleted; safe to share across stores.
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to` and fsyncs the parent directory, so
+  /// the rename itself is durable — the commit point of atomic publication.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path`; a missing file is OK (idempotent cleanup).
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  /// File and directory names (not full paths) directly under `dir`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+};
+
+/// Wraps a base Env and injects failures at the Nth durability operation.
+/// Durability ops are counted across all files and threads in call order:
+/// file creation, each Append, each Sync, each Close, each rename, each
+/// remove. Reads and directory ops are passed through uncounted.
+///
+/// Crash semantics model a power cut: every tracked file is truncated back
+/// to its last synced size (unsynced page-cache contents are lost), and all
+/// subsequent operations — reads included — fail, as they would in a dead
+/// process. Recovery tests reopen the directory with a fresh Env.
+class FaultInjectionEnv final : public Env {
+ public:
+  enum class FaultMode {
+    kNone,      ///< No fault armed; ops are counted only.
+    kFailOp,    ///< Nth op returns IOError; files keep their bytes.
+    kCrash,     ///< Nth op powers off: unsynced bytes vanish, env goes dead.
+    kTornWrite  ///< Like kCrash, but if the Nth op is an Append, a prefix of
+                ///< that file's unsynced bytes survives (a torn write).
+  };
+
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  /// Arms `mode` to fire at op number `fail_at_op` (0-based, counted from
+  /// now on). Resets the trigger and the crashed state, not the op counter.
+  void ArmFault(FaultMode mode, uint64_t fail_at_op);
+
+  /// Total durability ops observed so far.
+  uint64_t op_count() const;
+  /// True once the armed fault has fired.
+  bool triggered() const;
+  /// True once the simulated process state is dead (kCrash / kTornWrite
+  /// fired, or CrashNow was called).
+  bool crashed() const;
+
+  /// Simulates a power cut right now: truncates every tracked file to its
+  /// last synced size and fails all subsequent operations.
+  void CrashNow();
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+ private:
+  friend class FaultInjectionFile;
+
+  struct FileState {
+    uint64_t size = 0;         ///< Bytes written through the env.
+    uint64_t synced_size = 0;  ///< Bytes guaranteed to survive a crash.
+  };
+
+  /// Charges one durability op under `mu_`. Returns non-OK when the env is
+  /// dead or this op is the armed failpoint (firing side effects included).
+  /// `appending_path` is the file being appended when the op is an Append,
+  /// so kTornWrite knows which file keeps a torn prefix.
+  Status BeforeOpLocked(const std::string& appending_path = std::string());
+  void CrashLocked(const std::string& torn_path);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  FaultMode mode_ = FaultMode::kNone;
+  uint64_t fail_at_op_ = 0;
+  uint64_t op_count_ = 0;
+  bool armed_ = false;
+  bool triggered_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace k2
+
+#endif  // K2_COMMON_ENV_H_

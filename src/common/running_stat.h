@@ -5,10 +5,15 @@
 #define K2_COMMON_RUNNING_STAT_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace k2 {
 
@@ -44,6 +49,58 @@ class RunningStat {
   double total_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-capacity uniform sample (Vitter's algorithm R) for tail-latency
+/// percentiles. Exact while the observation count stays within capacity —
+/// which covers every bench in this repo at default scale — and an unbiased
+/// estimate beyond it, with O(capacity) memory however long the stream runs.
+/// Deterministic: replacement uses the seeded SplitMix64 Rng.
+class PercentileReservoir {
+ public:
+  explicit PercentileReservoir(size_t capacity = 4096,
+                               uint64_t seed = 0x9e3779b9ULL)
+      : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {
+    samples_.reserve(capacity_);
+  }
+
+  void Add(double v) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(v);
+      return;
+    }
+    const uint64_t j = rng_.NextInt(count_);
+    if (j < capacity_) samples_[j] = v;
+  }
+
+  /// Nearest-rank percentile of the sampled values; `p` in [0, 100].
+  /// Returns 0 when nothing was observed.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double frac = std::min(std::max(p, 0.0), 100.0) / 100.0;
+    size_t rank =
+        static_cast<size_t>(std::ceil(frac * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  size_t count() const { return count_; }
+  size_t sample_count() const { return samples_.size(); }
+
+  void Clear() {
+    samples_.clear();
+    count_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<double> samples_;
+  size_t count_ = 0;
 };
 
 }  // namespace k2

@@ -98,7 +98,9 @@ Status OnlineK2HopMiner::AppendTick(Timestamp t,
   ++stats_.ticks_ingested;
   stats_.points_ingested += points.size();
   status_ = Drain();
-  stats_.append_latency.Add(tick_sw.ElapsedSeconds());
+  const double elapsed = tick_sw.ElapsedSeconds();
+  stats_.append_latency.Add(elapsed);
+  stats_.append_percentiles.Add(elapsed);
   return status_;
 }
 

@@ -77,6 +77,9 @@ struct OnlineK2HopStats {
   ValidationStats validation;
   /// Per-AppendTick wall time (the amortized ingest+mine cost per tick).
   RunningStat append_latency;
+  /// Tail view of the same per-tick latencies (p50/p99/p999); exact up to
+  /// 4096 ticks, a uniform reservoir estimate beyond.
+  PercentileReservoir append_percentiles;
   /// Store IO split by cause: Append calls vs. mining reads.
   IoStats ingest_io;
   IoStats mining_io;

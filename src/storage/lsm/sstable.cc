@@ -9,21 +9,21 @@
 #define K2_SSTABLE_HAS_MMAP 1
 #endif
 
+#include "common/crc32c.h"
 #include "storage/store.h"
 
 namespace k2::lsm {
 
 namespace {
 
-// One on-disk entry: key + x + y, 24 bytes, written field-wise.
+// One on-disk entry: key + x + y, 24 bytes.
 constexpr size_t kEntrySize = 24;
+constexpr size_t kIndexEntrySize = 28;  // first_key + last_key + offset + count
+// index_offset + bloom_offset + num_entries + meta_crc + version + magic.
+constexpr size_t kFooterSize = 8 + 8 + 8 + 4 + 4 + 8;
 
-Status WriteRaw(std::FILE* f, const void* data, size_t n,
-                const std::string& path) {
-  if (std::fwrite(data, 1, n, f) != n) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
 }
 
 }  // namespace
@@ -32,11 +32,25 @@ Status WriteRaw(std::FILE* f, const void* data, size_t n,
 // SSTableBuilder
 // ---------------------------------------------------------------------------
 
-SSTableBuilder::SSTableBuilder(std::string path) : path_(std::move(path)) {
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    deferred_error_ = Status::IOError("cannot create " + path_ + ": " +
-                                      std::strerror(errno));
+SSTableBuilder::SSTableBuilder(Env* env, std::string path)
+    : env_(env), path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  auto file = env_->NewWritableFile(tmp_path_);
+  if (!file.ok()) {
+    deferred_error_ = file.status();
+  } else {
+    file_ = file.MoveValue();
+  }
+}
+
+SSTableBuilder::SSTableBuilder(std::string path)
+    : SSTableBuilder(Env::Default(), std::move(path)) {}
+
+SSTableBuilder::~SSTableBuilder() {
+  // Abandoned build (error or never Finished): drop the temporary file so
+  // nothing half-written survives under any name. Best-effort.
+  if (file_ != nullptr) {
+    file_->Close();
+    env_->RemoveFile(tmp_path_);
   }
 }
 
@@ -66,10 +80,16 @@ Status SSTableBuilder::FlushBlock() {
   entry.last_key = block_.back().first;
   entry.offset = offset_;
   entry.count = static_cast<uint32_t>(block_.size());
+  scratch_.clear();
   for (const auto& [key, value] : block_) {
-    K2_RETURN_NOT_OK(WriteRaw(file_, &key, 8, path_));
-    K2_RETURN_NOT_OK(WriteRaw(file_, &value.x, 8, path_));
-    K2_RETURN_NOT_OK(WriteRaw(file_, &value.y, 8, path_));
+    AppendRaw(&scratch_, &key, 8);
+    AppendRaw(&scratch_, &value.x, 8);
+    AppendRaw(&scratch_, &value.y, 8);
+  }
+  Status s = file_->Append(scratch_.data(), scratch_.size());
+  if (!s.ok()) {
+    deferred_error_ = s;
+    return s;
   }
   offset_ += block_.size() * kEntrySize;
   index_.push_back(entry);
@@ -81,31 +101,49 @@ Status SSTableBuilder::Finish() {
   K2_RETURN_NOT_OK(deferred_error_);
   K2_RETURN_NOT_OK(FlushBlock());
 
+  // Metadata region (index + bloom), checksummed as one unit so a torn
+  // write anywhere in it is detected by Open().
   const uint64_t index_offset = offset_;
+  std::string meta;
   for (const IndexEntry& e : index_) {
-    K2_RETURN_NOT_OK(WriteRaw(file_, &e.first_key, 8, path_));
-    K2_RETURN_NOT_OK(WriteRaw(file_, &e.last_key, 8, path_));
-    K2_RETURN_NOT_OK(WriteRaw(file_, &e.offset, 8, path_));
-    K2_RETURN_NOT_OK(WriteRaw(file_, &e.count, 4, path_));
+    AppendRaw(&meta, &e.first_key, 8);
+    AppendRaw(&meta, &e.last_key, 8);
+    AppendRaw(&meta, &e.offset, 8);
+    AppendRaw(&meta, &e.count, 4);
   }
-  const uint64_t bloom_offset = index_offset + index_.size() * 28;
+  const uint64_t bloom_offset = index_offset + index_.size() * kIndexEntrySize;
 
   BloomFilter bloom(std::max<size_t>(bloom_reserve_, all_entries_.size()));
   for (const auto& [key, value] : all_entries_) bloom.Add(key);
   const uint32_t num_hashes = bloom.num_hashes_for_disk();
   const uint32_t num_words = static_cast<uint32_t>(bloom.words().size());
-  K2_RETURN_NOT_OK(WriteRaw(file_, &num_hashes, 4, path_));
-  K2_RETURN_NOT_OK(WriteRaw(file_, &num_words, 4, path_));
-  K2_RETURN_NOT_OK(WriteRaw(file_, bloom.words().data(), num_words * 8, path_));
+  AppendRaw(&meta, &num_hashes, 4);
+  AppendRaw(&meta, &num_words, 4);
+  AppendRaw(&meta, bloom.words().data(), num_words * 8);
 
-  K2_RETURN_NOT_OK(WriteRaw(file_, &index_offset, 8, path_));
-  K2_RETURN_NOT_OK(WriteRaw(file_, &bloom_offset, 8, path_));
-  K2_RETURN_NOT_OK(WriteRaw(file_, &num_entries_, 8, path_));
-  K2_RETURN_NOT_OK(WriteRaw(file_, &kSstMagic, 8, path_));
+  const uint32_t meta_crc = Crc32c(meta.data(), meta.size());
+  AppendRaw(&meta, &index_offset, 8);
+  AppendRaw(&meta, &bloom_offset, 8);
+  AppendRaw(&meta, &num_entries_, 8);
+  AppendRaw(&meta, &meta_crc, 4);
+  AppendRaw(&meta, &kSstFormatVersion, 4);
+  AppendRaw(&meta, &kSstMagic, 8);
 
-  std::fclose(file_);
+  Status s = file_->Append(meta.data(), meta.size());
+  if (s.ok()) s = file_->Sync();
+  if (s.ok()) s = file_->Close();
+  if (!s.ok()) {
+    deferred_error_ = s;
+    return s;  // dtor removes the tmp file
+  }
   file_ = nullptr;
-  return Status::OK();
+  // The commit point: until this rename lands, the table does not exist.
+  s = env_->RenameFile(tmp_path_, path_);
+  if (!s.ok()) {
+    deferred_error_ = s;
+    env_->RemoveFile(tmp_path_);
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -133,44 +171,87 @@ Result<std::unique_ptr<SSTable>> SSTable::Open(const std::string& path,
                            std::strerror(errno));
   }
   std::FILE* f = table->file_;
-  if (std::fseek(f, -32, SEEK_END) != 0) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("size seek failed on " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    return Status::IOError("size probe failed on " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  if (file_size < kFooterSize) {
+    return Status::Invalid("truncated SSTable (no footer) in " + path);
+  }
+
+  if (std::fseek(f, -static_cast<long>(kFooterSize), SEEK_END) != 0) {
     return Status::IOError("footer seek failed on " + path);
   }
   uint64_t index_offset, bloom_offset, num_entries, magic;
+  uint32_t meta_crc, version;
   if (std::fread(&index_offset, 8, 1, f) != 1 ||
       std::fread(&bloom_offset, 8, 1, f) != 1 ||
       std::fread(&num_entries, 8, 1, f) != 1 ||
-      std::fread(&magic, 8, 1, f) != 1) {
+      std::fread(&meta_crc, 4, 1, f) != 1 ||
+      std::fread(&version, 4, 1, f) != 1 || std::fread(&magic, 8, 1, f) != 1) {
     return Status::IOError("footer read failed on " + path);
   }
   if (magic != kSstMagic) {
     return Status::Invalid("bad SSTable magic in " + path);
   }
-  table->num_entries_ = num_entries;
+  if (version != kSstFormatVersion) {
+    return Status::Invalid("unsupported SSTable version " +
+                           std::to_string(version) + " in " + path);
+  }
+  const uint64_t meta_end = file_size - kFooterSize;
+  if (index_offset > bloom_offset || bloom_offset > meta_end ||
+      (bloom_offset - index_offset) % kIndexEntrySize != 0 ||
+      meta_end - bloom_offset < 8) {
+    return Status::Invalid("SSTable footer offsets out of range in " + path);
+  }
 
-  const size_t num_blocks = (bloom_offset - index_offset) / 28;
-  table->index_.resize(num_blocks);
+  // Read the whole metadata region and verify its checksum before trusting
+  // a single field of it.
+  const size_t meta_size = static_cast<size_t>(meta_end - index_offset);
+  std::vector<char> meta(meta_size);
   if (std::fseek(f, static_cast<long>(index_offset), SEEK_SET) != 0) {
     return Status::IOError("index seek failed on " + path);
   }
+  if (meta_size > 0 && std::fread(meta.data(), 1, meta_size, f) != meta_size) {
+    return Status::IOError("index read failed on " + path);
+  }
+  if (Crc32c(meta.data(), meta.size()) != meta_crc) {
+    return Status::Invalid("SSTable meta checksum mismatch in " + path);
+  }
+
+  table->num_entries_ = num_entries;
+  const size_t num_blocks = (bloom_offset - index_offset) / kIndexEntrySize;
+  table->index_.resize(num_blocks);
+  const char* p = meta.data();
+  uint64_t counted = 0;
   for (IndexEntry& e : table->index_) {
-    if (std::fread(&e.first_key, 8, 1, f) != 1 ||
-        std::fread(&e.last_key, 8, 1, f) != 1 ||
-        std::fread(&e.offset, 8, 1, f) != 1 ||
-        std::fread(&e.count, 4, 1, f) != 1) {
-      return Status::IOError("index read failed on " + path);
+    std::memcpy(&e.first_key, p, 8);
+    std::memcpy(&e.last_key, p + 8, 8);
+    std::memcpy(&e.offset, p + 16, 8);
+    std::memcpy(&e.count, p + 24, 4);
+    p += kIndexEntrySize;
+    if (e.offset + uint64_t{e.count} * kEntrySize > index_offset) {
+      return Status::Invalid("SSTable block index out of range in " + path);
     }
+    counted += e.count;
+  }
+  if (counted != num_entries) {
+    return Status::Invalid("SSTable entry count mismatch in " + path);
   }
 
   uint32_t num_hashes, num_words;
-  if (std::fread(&num_hashes, 4, 1, f) != 1 ||
-      std::fread(&num_words, 4, 1, f) != 1) {
-    return Status::IOError("bloom header read failed on " + path);
+  std::memcpy(&num_hashes, p, 4);
+  std::memcpy(&num_words, p + 4, 4);
+  p += 8;
+  if (meta_end - bloom_offset != 8 + uint64_t{num_words} * 8) {
+    return Status::Invalid("SSTable bloom size mismatch in " + path);
   }
   std::vector<uint64_t> words(num_words);
-  if (num_words > 0 && std::fread(words.data(), 8, num_words, f) != num_words) {
-    return Status::IOError("bloom read failed on " + path);
-  }
+  if (num_words > 0) std::memcpy(words.data(), p, size_t{num_words} * 8);
   table->bloom_ = BloomFilter::FromWords(std::move(words), num_hashes);
 
   if (!table->index_.empty()) {
@@ -182,15 +263,12 @@ Result<std::unique_ptr<SSTable>> SSTable::Open(const std::string& path,
   // Tables are immutable once built: map the whole file read-only so block
   // fetches are page-cache copies instead of fseek+fread syscall pairs. On
   // mapping failure the stdio handle stays as the fallback read path.
-  if (std::fseek(f, 0, SEEK_END) == 0) {
-    const long size = std::ftell(f);
-    if (size > 0) {
-      void* map = mmap(nullptr, static_cast<size_t>(size), PROT_READ,
-                       MAP_PRIVATE, fileno(f), 0);
-      if (map != MAP_FAILED) {
-        table->map_ = static_cast<const char*>(map);
-        table->map_size_ = static_cast<size_t>(size);
-      }
+  if (file_size > 0) {
+    void* map = mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
+                     MAP_PRIVATE, fileno(f), 0);
+    if (map != MAP_FAILED) {
+      table->map_ = static_cast<const char*>(map);
+      table->map_size_ = static_cast<size_t>(file_size);
     }
   }
 #endif

@@ -1,13 +1,20 @@
 // Immutable sorted-string table: 4 KiB data blocks of packed (key, x, y)
 // entries, a sparse block index and a bloom filter kept resident, data blocks
-// fetched from disk on demand. File layout:
+// fetched from disk on demand. File layout (format v2):
 //
 //   [block 0][block 1]...[block B-1]
 //   [index: B * {uint64 first_key, uint64 last_key, uint64 offset, u32 count}]
 //   [bloom: uint32 num_hashes (top bit = blocked layout), uint32 num_words,
 //    words...]
 //   [footer: uint64 index_offset, uint64 bloom_offset, uint64 num_entries,
+//            uint32 meta_crc32c (over index + bloom), uint32 version,
 //            uint64 magic]
+//
+// Publication is atomic: the builder writes to `<path>.tmp` through an Env,
+// fsyncs, closes, and renames onto the final path (rename + parent-dir
+// fsync), so a reader can never observe a partially written table under the
+// final name. Open() refuses truncated or corrupt files with named errors
+// instead of parsing garbage — recovery after a crash depends on it.
 #ifndef K2_STORAGE_LSM_SSTABLE_H_
 #define K2_STORAGE_LSM_SSTABLE_H_
 
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/lsm/bloom.h"
 #include "storage/lsm/skiplist.h"
@@ -29,16 +37,22 @@ struct IoStats;
 namespace k2::lsm {
 
 inline constexpr uint64_t kSstMagic = 0x6b32686f70737374ULL;  // "k2hopsst"
+inline constexpr uint32_t kSstFormatVersion = 2;
 inline constexpr size_t kBlockEntries = 170;  // 24 B/entry -> ~4 KiB blocks
 
 /// Writes one SSTable; Add() must be called in strictly increasing key order.
+/// Nothing appears under the final path until Finish() has fsynced and
+/// renamed the temporary file; a crash mid-build leaves at most a `.tmp`
+/// orphan that recovery deletes.
 class SSTableBuilder {
  public:
+  SSTableBuilder(Env* env, std::string path);
+  /// Convenience: builds through Env::Default().
   explicit SSTableBuilder(std::string path);
+  ~SSTableBuilder();
 
   Status Add(uint64_t key, const LsmValue& value);
-  /// Flushes everything and closes the file. `expected_keys` were announced
-  /// via Reserve (or counted on the fly).
+  /// Flushes everything, fsyncs, and atomically publishes the table.
   Status Finish();
 
   /// Pre-sizes the bloom filter; call before the first Add for best shape.
@@ -56,8 +70,11 @@ class SSTableBuilder {
     uint32_t count;
   };
 
-  std::string path_;
-  std::FILE* file_ = nullptr;
+  Env* env_;
+  std::string path_;      // final path, target of the publishing rename
+  std::string tmp_path_;  // path_ + ".tmp", where all writing happens
+  std::unique_ptr<WritableFile> file_;
+  std::string scratch_;  // per-block serialization buffer
   std::vector<std::pair<uint64_t, LsmValue>> block_;
   std::vector<IndexEntry> index_;
   std::vector<std::pair<uint64_t, LsmValue>> all_entries_;  // for bloom build

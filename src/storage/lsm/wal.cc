@@ -1,0 +1,67 @@
+#include "storage/lsm/wal.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace k2::lsm {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // crc32 + len
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path) {
+  K2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                      env->NewWritableFile(path));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::AddRecord(const void* payload, size_t n) {
+  const uint32_t crc = Crc32c(payload, n);
+  const uint32_t len = static_cast<uint32_t>(n);
+  buffer_.append(reinterpret_cast<const char*>(&crc), 4);
+  buffer_.append(reinterpret_cast<const char*>(&len), 4);
+  buffer_.append(static_cast<const char*>(payload), n);
+  if (buffer_.size() >= kFlushThreshold) return FlushBuffer();
+  return Status::OK();
+}
+
+Status WalWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  K2_RETURN_NOT_OK(file_->Append(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  K2_RETURN_NOT_OK(FlushBuffer());
+  return file_->Sync();
+}
+
+Status WalWriter::Close() {
+  K2_RETURN_NOT_OK(FlushBuffer());
+  return file_->Close();
+}
+
+Result<size_t> ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<void(const char* payload, size_t n)>& fn) {
+  K2_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  size_t offset = 0;
+  size_t records = 0;
+  while (data.size() - offset >= kFrameHeader) {
+    uint32_t crc, len;
+    std::memcpy(&crc, data.data() + offset, 4);
+    std::memcpy(&len, data.data() + offset + 4, 4);
+    if (len > data.size() - offset - kFrameHeader) break;  // torn tail
+    const char* payload = data.data() + offset + kFrameHeader;
+    if (Crc32c(payload, len) != crc) break;  // corrupt frame: stop here
+    fn(payload, len);
+    offset += kFrameHeader + len;
+    ++records;
+  }
+  return records;
+}
+
+}  // namespace k2::lsm

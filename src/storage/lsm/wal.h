@@ -1,0 +1,68 @@
+// Write-ahead log for the LSM store. Records are length-framed and
+// checksummed:
+//
+//   [uint32 crc32c(payload)][uint32 payload_len][payload bytes]
+//
+// The writer buffers frames in memory and hands them to the Env in large
+// appends (on Sync, Close, or when the buffer passes a threshold), so a
+// crash can only tear the tail of the file. Replay walks frames from the
+// start and stops at the first frame that is short, out of bounds, or fails
+// its checksum — recovering exactly the longest valid record prefix, which
+// is exactly the set of records that were durable (or luckily persisted)
+// when the process died.
+#ifndef K2_STORAGE_LSM_WAL_H_
+#define K2_STORAGE_LSM_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace k2::lsm {
+
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path);
+
+  /// Frames `payload` and queues it; durable only after the next Sync().
+  Status AddRecord(const void* payload, size_t n);
+
+  /// Flushes queued frames to the Env and fdatasyncs the file: every record
+  /// added so far survives a crash once this returns OK.
+  Status Sync();
+
+  /// Flushes queued frames and closes the file WITHOUT syncing — records
+  /// since the last Sync() may still be lost to a crash.
+  Status Close();
+
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  /// Buffered frames below this stay in memory; Sync/Close always drain.
+  static constexpr size_t kFlushThreshold = 64 * 1024;
+
+  Status FlushBuffer();
+
+  std::unique_ptr<WritableFile> file_;
+  std::string buffer_;
+};
+
+/// Replays the longest valid record prefix of the WAL at `path`, invoking
+/// `fn` once per record. A torn or corrupt tail is NOT an error — replay
+/// stops there and reports how many records were delivered. A missing file
+/// or unreadable file is an IOError.
+Result<size_t> ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<void(const char* payload, size_t n)>& fn);
+
+}  // namespace k2::lsm
+
+#endif  // K2_STORAGE_LSM_WAL_H_

@@ -1,26 +1,41 @@
 #include "storage/lsm_store.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <filesystem>
+#include <cstring>
+#include <set>
 
 #include "storage/key.h"
 
 namespace k2 {
 
 using lsm::LsmValue;
+using lsm::ManifestState;
+using lsm::ManifestTable;
 using lsm::SSTable;
 using lsm::SSTableBuilder;
+using lsm::WalWriter;
 
 namespace {
 
+/// WAL record payload: [u8 type][u32 count][count * (u64 key, f64 x, f64 y)].
+constexpr uint8_t kWalPutBatch = 1;
+constexpr size_t kWalEntrySize = 24;
+constexpr size_t kWalBatchHeader = 5;
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
 // Read path shared by the store and its snapshots, templated over the
-// memtable representation: the live store reads its SkipList, a snapshot
-// reads a frozen sorted run. `tables` is newest first; per-table IO is
-// charged to whatever IoStats each SSTable handle was opened with.
+// memtable representation: the live store reads its active SkipList plus any
+// immutable memtables awaiting flush, a snapshot reads one frozen sorted
+// run. `mems` is newest first, `tables` is newest first; a row's rank is its
+// source position (memtables before all tables), so newest-wins dedup is a
+// sort by (key, rank). Per-table IO is charged to whatever IoStats each
+// SSTable handle was opened with.
 
 template <typename MemtableT>
-Status LsmScanTimestamp(const MemtableT& memtable,
+Status LsmScanTimestamp(const MemtableT* const* mems, size_t num_mems,
                         const std::vector<SSTable*>& tables, Timestamp t,
                         std::vector<SnapshotPoint>* out, IoStats* stats) {
   out->clear();
@@ -31,23 +46,25 @@ Status LsmScanTimestamp(const MemtableT& memtable,
   // Collect versions from every overlapping source, newest-wins per key.
   struct Row {
     uint64_t key;
-    uint64_t seq;
+    uint64_t rank;  // smaller = newer source
     LsmValue value;
   };
   std::vector<Row> rows;
-  memtable.Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
-    rows.push_back(Row{key, ~0ULL, value});
-  });
-  for (SSTable* table : tables) {
-    if (!table->Overlaps(lo, hi)) continue;
+  for (size_t i = 0; i < num_mems; ++i) {
+    mems[i]->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+      rows.push_back(Row{key, i, value});
+    });
+  }
+  for (size_t j = 0; j < tables.size(); ++j) {
+    if (!tables[j]->Overlaps(lo, hi)) continue;
     K2_RETURN_NOT_OK(
-        table->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
-          rows.push_back(Row{key, table->seq(), value});
+        tables[j]->Scan(lo, hi, [&](uint64_t key, const LsmValue& value) {
+          rows.push_back(Row{key, num_mems + j, value});
         }));
   }
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.key != b.key) return a.key < b.key;
-    return a.seq > b.seq;
+    return a.rank < b.rank;
   });
   for (size_t i = 0; i < rows.size(); ++i) {
     if (i > 0 && rows[i].key == rows[i - 1].key) continue;
@@ -59,28 +76,29 @@ Status LsmScanTimestamp(const MemtableT& memtable,
 }
 
 template <typename MemtableT>
-Status LsmGetPoints(const MemtableT& memtable,
+Status LsmGetPoints(const MemtableT* const* mems, size_t num_mems,
                     const std::vector<SSTable*>& tables, bool use_bloom,
                     Timestamp t, const ObjectSet& objects,
                     std::vector<SnapshotPoint>* out, IoStats* stats) {
   out->clear();
   stats->point_queries += objects.size();
-  const bool have_memtable = !memtable.empty();
   for (ObjectId oid : objects) {
     const uint64_t key = MakeKey(t, oid);
     LsmValue value;
-    if (have_memtable && memtable.Get(key, &value)) {
-      out->push_back(SnapshotPoint{oid, value.x, value.y});
-      continue;
-    }
     bool found = false;
-    for (SSTable* table : tables) {
-      K2_ASSIGN_OR_RETURN(found, table->Get(key, &value, use_bloom));
-      if (found) {
-        out->push_back(SnapshotPoint{oid, value.x, value.y});
+    for (size_t i = 0; i < num_mems; ++i) {
+      if (!mems[i]->empty() && mems[i]->Get(key, &value)) {
+        found = true;
         break;
       }
     }
+    if (!found) {
+      for (SSTable* table : tables) {
+        K2_ASSIGN_OR_RETURN(found, table->Get(key, &value, use_bloom));
+        if (found) break;
+      }
+    }
+    if (found) out->push_back(SnapshotPoint{oid, value.x, value.y});
   }
   stats->point_hits += out->size();
   return Status::OK();
@@ -144,11 +162,13 @@ class LsmReadSnapshot final : public Store {
     return Status::Invalid("read snapshot of lsmt is read-only");
   }
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
-    return LsmScanTimestamp(memtable_, flat_, t, out, &io_stats_);
+    const SortedRun* mem = &memtable_;
+    return LsmScanTimestamp(&mem, 1, flat_, t, out, &io_stats_);
   }
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override {
-    return LsmGetPoints(memtable_, flat_, use_bloom_, t, objects, out,
+    const SortedRun* mem = &memtable_;
+    return LsmGetPoints(&mem, 1, flat_, use_bloom_, t, objects, out,
                         &io_stats_);
   }
   TimeRange time_range() const override {
@@ -169,20 +189,212 @@ class LsmReadSnapshot final : public Store {
   uint64_t num_points_;
 };
 
+std::string TableFileName(uint64_t seq) {
+  return "sstable_" + std::to_string(seq) + ".sst";
+}
+
+std::string WalFileName(uint64_t seq) {
+  return "wal_" + std::to_string(seq) + ".log";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Construction / recovery
+// ---------------------------------------------------------------------------
+
 LsmStore::LsmStore(std::string dir, Options options)
-    : dir_(std::move(dir)), options_(options) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
+    : dir_(std::move(dir)),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {
+  init_status_ = Recover();
+  if (init_status_.ok() && options_.background_compaction) StartWorker();
 }
 
-std::string LsmStore::NextTablePath() {
-  return dir_ + "/sstable_" + std::to_string(next_seq_) + ".sst";
+LsmStore::~LsmStore() {
+  if (worker_started_) StopWorker();
+  // Best-effort close; the WAL's synced prefix is what survives regardless.
+  if (wal_ != nullptr) wal_->Close();
 }
 
-Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
-  memtable_.Put(MakeKey(t, oid), LsmValue{x, y});
+std::string LsmStore::TableFilePath(uint64_t seq) const {
+  return dir_ + "/" + TableFileName(seq);
+}
+
+std::string LsmStore::WalFilePath(uint64_t seq) const {
+  return dir_ + "/" + WalFileName(seq);
+}
+
+Status LsmStore::Recover() {
+  K2_RETURN_NOT_OK(env_->CreateDirs(dir_));
+  memtable_ = std::make_unique<lsm::SkipList>();
+
+  ManifestState manifest;
+  auto read = lsm::ReadManifest(env_, dir_);
+  if (read.ok()) {
+    manifest = read.MoveValue();
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    return read.status();  // a corrupt MANIFEST is not silently ignorable
+  }
+  next_seq_ = std::max<uint64_t>(manifest.next_seq, 1);
+
+  // 1. Open every table the MANIFEST says is live; they were published
+  //    atomically, so a validation failure here is real corruption.
+  for (const ManifestTable& t : manifest.tables) {
+    if (t.tier >= tiers_.size()) tiers_.resize(t.tier + 1);
+    K2_ASSIGN_OR_RETURN(
+        std::unique_ptr<SSTable> table,
+        SSTable::Open(dir_ + "/" + t.file, t.seq, &io_stats_));
+    next_seq_ = std::max(next_seq_, t.seq + 1);
+    tiers_[t.tier].push_back(std::move(table));
+  }
+  RebuildFlatViewLocked();
+
+  // 2. Replay the live WAL segments (oldest first) into the active
+  //    memtable: the longest valid prefix of each is exactly what was
+  //    durable. The segments stay live until this memtable flushes.
+  std::set<Timestamp> ticks;
+  for (uint64_t wseq : manifest.live_wals) {
+    next_seq_ = std::max(next_seq_, wseq + 1);
+    const std::string path = WalFilePath(wseq);
+    if (!env_->FileExists(path)) continue;  // flushed + deleted mid-commit
+    auto replayed = lsm::ReplayWal(env_, path, [&](const char* payload,
+                                                   size_t n) {
+      if (n < kWalBatchHeader || payload[0] != kWalPutBatch) return;
+      uint32_t count;
+      std::memcpy(&count, payload + 1, 4);
+      if (n < kWalBatchHeader + uint64_t{count} * kWalEntrySize) return;
+      const char* p = payload + kWalBatchHeader;
+      for (uint32_t i = 0; i < count; ++i, p += kWalEntrySize) {
+        uint64_t key;
+        LsmValue value;
+        std::memcpy(&key, p, 8);
+        std::memcpy(&value.x, p + 8, 8);
+        std::memcpy(&value.y, p + 16, 8);
+        memtable_->Put(key, value);
+        ticks.insert(KeyTime(key));
+        ++num_points_;
+      }
+    });
+    if (!replayed.ok()) return replayed.status();
+  }
+  active_wal_seqs_ = manifest.live_wals;
+
+  // 3. Start a fresh WAL segment for new writes and commit the recovered
+  //    shape, so the store is durable-consistent before the first Append.
+  K2_RETURN_NOT_OK(OpenActiveWalLocked(false));
+  K2_RETURN_NOT_OK(WriteManifestLocked());
+
+  // 4. Rebuild the derived metadata (tick list, row count) from the tables.
+  for (SSTable* table : flat_newest_first_) {
+    num_points_ += table->num_entries();
+    K2_RETURN_NOT_OK(table->Scan(
+        0, ~0ULL,
+        [&](uint64_t key, const LsmValue&) { ticks.insert(KeyTime(key)); }));
+  }
+  tick_cache_.assign(ticks.begin(), ticks.end());
+
+  // 5. Remove orphans: tmp files of interrupted builds and tables/WALs that
+  //    fell out of the MANIFEST before their unlink landed. Names the
+  //    MANIFEST (or the new WAL) references are kept; everything else with
+  //    one of our prefixes goes. Best-effort.
+  std::set<std::string> keep{std::string(lsm::kManifestName)};
+  for (const ManifestTable& t : manifest.tables) keep.insert(t.file);
+  for (uint64_t wseq : active_wal_seqs_) keep.insert(WalFileName(wseq));
+  auto listing = env_->ListDir(dir_);
+  if (listing.ok()) {
+    for (const std::string& name : listing.value()) {
+      if (keep.count(name) > 0) continue;
+      if (StartsWith(name, "sstable_") || StartsWith(name, "wal_") ||
+          EndsWith(name, ".tmp")) {
+        env_->RemoveFile(dir_ + "/" + name);
+      }
+    }
+  }
+
+  io_stats_.Clear();  // recovery reads are not query IO
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status LsmStore::WritableLocked() const {
+  K2_RETURN_NOT_OK(init_status_);
+  return write_error_;
+}
+
+ManifestState LsmStore::ManifestSnapshotLocked() const {
+  ManifestState state;
+  state.next_seq = next_seq_;
+  for (const PendingMemtable& p : pending_) {
+    for (uint64_t seq : p.wal_seqs) state.live_wals.push_back(seq);
+  }
+  for (uint64_t seq : active_wal_seqs_) state.live_wals.push_back(seq);
+  for (uint32_t tier = 0; tier < tiers_.size(); ++tier) {
+    for (const auto& table : tiers_[tier]) {
+      state.tables.push_back(ManifestTable{tier, table->seq(),
+                                           TableFileName(table->seq()),
+                                           table->num_entries()});
+    }
+  }
+  return state;
+}
+
+Status LsmStore::WriteManifestLocked() {
+  return lsm::WriteManifest(env_, dir_, ManifestSnapshotLocked());
+}
+
+Status LsmStore::OpenActiveWalLocked(bool fresh_wal_set) {
+  if (fresh_wal_set) active_wal_seqs_.clear();
+  const uint64_t seq = next_seq_++;
+  auto writer = WalWriter::Create(env_, WalFilePath(seq));
+  if (!writer.ok()) {
+    write_error_ = writer.status();
+    return writer.status();
+  }
+  wal_ = writer.MoveValue();
+  active_wal_seqs_.push_back(seq);
+  return Status::OK();
+}
+
+Status LsmStore::WalAppendLocked(Timestamp t,
+                                 const std::vector<SnapshotPoint>& points,
+                                 bool sync) {
+  // A bulk load's rows are published by its final Flush; logging them first
+  // would double every byte written (and the segments would be deleted
+  // unread moments later).
+  if (bulk_loading_) return Status::OK();
+  wal_scratch_.clear();
+  const uint32_t count = static_cast<uint32_t>(points.size());
+  AppendRaw(&wal_scratch_, &kWalPutBatch, 1);
+  AppendRaw(&wal_scratch_, &count, 4);
+  for (const SnapshotPoint& p : points) {
+    const uint64_t key = MakeKey(t, p.oid);
+    AppendRaw(&wal_scratch_, &key, 8);
+    AppendRaw(&wal_scratch_, &p.x, 8);
+    AppendRaw(&wal_scratch_, &p.y, 8);
+  }
+  Status s = wal_->AddRecord(wal_scratch_.data(), wal_scratch_.size());
+  if (s.ok() && sync) s = wal_->Sync();
+  // Any WAL failure poisons the segment (it may now end in a torn frame
+  // that replay would stop at), so writes stay failed until reopen.
+  if (!s.ok()) write_error_ = s;
+  return s;
+}
+
+void LsmStore::ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y) {
+  memtable_->Put(MakeKey(t, oid), LsmValue{x, y});
   // Keep the flat tick list sorted and unique as ticks arrive; time-ordered
   // ingest hits the cheap push_back path.
   if (tick_cache_.empty() || t > tick_cache_.back()) {
@@ -192,126 +404,221 @@ Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
     if (it == tick_cache_.end() || *it != t) tick_cache_.insert(it, t);
   }
   ++num_points_;
-  return MaybeFlush();
+}
+
+Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
+  std::unique_lock<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(WritableLocked());
+  const std::vector<SnapshotPoint> one{SnapshotPoint{oid, x, y}};
+  K2_RETURN_NOT_OK(WalAppendLocked(t, one, /*sync=*/false));
+  ApplyPutLocked(t, oid, x, y);
+  return MaybeRotateLocked(lock);
 }
 
 Status LsmStore::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
+  K2_RETURN_NOT_OK(init_status_);
   K2_RETURN_NOT_OK(CheckAppend(t, points));
-  for (const SnapshotPoint& p : points) {
-    K2_RETURN_NOT_OK(Put(t, p.oid, p.x, p.y));
-  }
-  return Status::OK();
+  if (points.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(WritableLocked());
+  // WAL first (synced by default): the tick is durable before the memtable
+  // sees it, and an error leaves the store exactly as it was.
+  K2_RETURN_NOT_OK(
+      WalAppendLocked(t, points, options_.wal_sync_every_append));
+  for (const SnapshotPoint& p : points) ApplyPutLocked(t, p.oid, p.x, p.y);
+  return MaybeRotateLocked(lock);
 }
 
-Status LsmStore::BulkLoad(const Dataset& dataset) {
-  // Reset any previous content.
-  memtable_.Clear();
-  for (auto& tier : tiers_) {
-    for (auto& table : tier) std::remove(table->path().c_str());
-  }
-  tiers_.clear();
-  flat_newest_first_.clear();
-  tick_cache_.clear();
-  num_points_ = 0;
-
-  // Route every row through the write path so that flushes and compactions
-  // actually happen — the generators emit in time order, which mirrors how
-  // movement data arrives in an operational store.
-  for (const PointRecord& rec : dataset.records()) {
-    K2_RETURN_NOT_OK(Put(rec.t, rec.oid, rec.x, rec.y));
-  }
-  K2_RETURN_NOT_OK(Flush());
-  num_points_ = dataset.num_points();
-  // Loading routed every row through Put, so flush/compaction IO landed in
-  // io_stats_ — reset, or the first mining run's pruning_ratio() would be
-  // polluted by ingest reads (Table 5 numbers).
-  io_stats_.Clear();
-  return Status::OK();
+Status LsmStore::MaybeRotateLocked(std::unique_lock<std::mutex>& lock) {
+  if (memtable_->size() < options_.memtable_limit) return Status::OK();
+  return RotateMemtableLocked(lock);
 }
 
-Status LsmStore::MaybeFlush() {
-  if (memtable_.size() < options_.memtable_limit) return Status::OK();
-  return Flush();
+Status LsmStore::RotateMemtableLocked(std::unique_lock<std::mutex>& lock) {
+  if (memtable_->empty()) return Status::OK();
+  // Seal the segment feeding this memtable (flush the writer's buffer; the
+  // synced prefix is already safe, and the table the flush job publishes
+  // supersedes the rest).
+  Status s = wal_->Close();
+  if (!s.ok()) {
+    write_error_ = s;
+    return s;
+  }
+  pending_.push_back(PendingMemtable{
+      std::shared_ptr<const lsm::SkipList>(memtable_.release()),
+      active_wal_seqs_});
+  memtable_ = std::make_unique<lsm::SkipList>();
+  K2_RETURN_NOT_OK(OpenActiveWalLocked(/*fresh_wal_set=*/true));
+  s = WriteManifestLocked();
+  if (!s.ok()) {
+    write_error_ = s;
+    return s;
+  }
+  if (options_.background_compaction && worker_started_) {
+    work_cv_.notify_one();
+    // Backpressure: let the worker catch up before queueing more.
+    drain_cv_.wait(lock, [&] {
+      return pending_.size() <= options_.max_pending_memtables ||
+             !write_error_.ok() || stop_;
+    });
+    return write_error_;
+  }
+  return DrainLocked(lock);
+}
+
+Status LsmStore::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  if (options_.background_compaction && worker_started_) {
+    drain_cv_.wait(lock, [&] {
+      return (pending_.empty() && !worker_busy_) || !write_error_.ok();
+    });
+    return write_error_;
+  }
+  while (write_error_.ok() && !pending_.empty()) {
+    Status s = FlushFrontLocked(lock);
+    if (s.ok()) s = CompactLocked(lock);
+    if (!s.ok()) write_error_ = s;
+  }
+  return write_error_;
 }
 
 Status LsmStore::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  const std::string path = NextTablePath();
-  SSTableBuilder builder(path);
-  builder.Reserve(memtable_.size());
-  Status status = Status::OK();
-  memtable_.ForEach([&](uint64_t key, const LsmValue& value) {
-    if (status.ok()) status = builder.Add(key, value);
+  std::unique_lock<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(WritableLocked());
+  K2_RETURN_NOT_OK(RotateMemtableLocked(lock));
+  return DrainLocked(lock);
+}
+
+Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
+  if (pending_.empty()) return Status::OK();
+  // The job stays in pending_ (readers keep seeing it) until the table is
+  // installed; only this thread consumes the queue, so the front is stable
+  // across the unlocked section.
+  PendingMemtable job = pending_.front();
+  const uint64_t table_seq = next_seq_++;
+  const std::string path = TableFilePath(table_seq);
+
+  lock.unlock();
+  SSTableBuilder builder(env_, path);
+  builder.Reserve(job.mem->size());
+  Status s;
+  job.mem->ForEach([&](uint64_t key, const LsmValue& value) {
+    if (s.ok()) s = builder.Add(key, value);
   });
-  K2_RETURN_NOT_OK(status);
-  K2_RETURN_NOT_OK(builder.Finish());
-  K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> table,
-                      SSTable::Open(path, next_seq_, &io_stats_));
-  ++next_seq_;
+  if (s.ok()) s = builder.Finish();
+  std::unique_ptr<SSTable> table;
+  if (s.ok()) {
+    auto opened = SSTable::Open(path, table_seq, &io_stats_);
+    if (opened.ok()) {
+      table = opened.MoveValue();
+    } else {
+      s = opened.status();
+    }
+  }
+  lock.lock();
+  if (!s.ok()) return s;
+
   if (tiers_.empty()) tiers_.emplace_back();
   tiers_[0].push_back(std::move(table));
-  memtable_.Clear();
-  K2_RETURN_NOT_OK(MaybeCompact());
-  RebuildFlatView();
+  pending_.pop_front();
+  RebuildFlatViewLocked();
+  // Commit: the MANIFEST now references the table and no longer lists the
+  // flushed segments. Only after that commit may the WAL files go away.
+  K2_RETURN_NOT_OK(WriteManifestLocked());
+  for (uint64_t wseq : job.wal_seqs) {
+    env_->RemoveFile(WalFilePath(wseq));  // best-effort; replay is idempotent
+  }
   return Status::OK();
 }
 
-Status LsmStore::MaybeCompact() {
+Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
   for (size_t tier = 0; tier < tiers_.size(); ++tier) {
     if (tiers_[tier].size() < options_.tier_fanout) continue;
-    K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> merged,
-                        MergeTables(tiers_[tier]));
-    for (auto& table : tiers_[tier]) std::remove(table->path().c_str());
-    tiers_[tier].clear();
+
+    // Snapshot the inputs; only this thread mutates tiers_, so the set is
+    // stable across the unlocked merge.
+    struct Input {
+      std::string path;
+      uint64_t seq;
+      uint64_t entries;
+    };
+    std::vector<Input> inputs;
+    for (const auto& table : tiers_[tier]) {
+      inputs.push_back(Input{table->path(), table->seq(), table->num_entries()});
+    }
+    const uint64_t out_seq = next_seq_++;
+    const std::string out_path = TableFilePath(out_seq);
+
+    lock.unlock();
+    // Merge through private handles so the foreground's table handles (with
+    // their mutable block caches) are never shared across threads. Sort-based
+    // merge: materialize (key, seq, value), keep the newest version of each
+    // key. Table sizes at our scales fit comfortably in memory.
+    IoStats merge_io;
+    struct Row {
+      uint64_t key;
+      uint64_t seq;
+      LsmValue value;
+    };
+    std::vector<Row> rows;
+    uint64_t total = 0;
+    for (const Input& in : inputs) total += in.entries;
+    rows.reserve(total);
+    Status s;
+    for (const Input& in : inputs) {
+      auto handle = SSTable::Open(in.path, in.seq, &merge_io);
+      if (!handle.ok()) {
+        s = handle.status();
+        break;
+      }
+      s = handle.value()->Scan(0, ~0ULL,
+                               [&](uint64_t key, const LsmValue& value) {
+                                 rows.push_back(Row{key, in.seq, value});
+                               });
+      if (!s.ok()) break;
+    }
+    std::unique_ptr<SSTable> merged;
+    if (s.ok()) {
+      std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        if (a.key != b.key) return a.key < b.key;
+        return a.seq > b.seq;  // newest first within a key
+      });
+      SSTableBuilder builder(env_, out_path);
+      builder.Reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0 && rows[i].key == rows[i - 1].key) continue;  // older version
+        s = builder.Add(rows[i].key, rows[i].value);
+        if (!s.ok()) break;
+      }
+      if (s.ok()) s = builder.Finish();
+      if (s.ok()) {
+        auto opened = SSTable::Open(out_path, out_seq, &io_stats_);
+        if (opened.ok()) {
+          merged = opened.MoveValue();
+        } else {
+          s = opened.status();
+        }
+      }
+    }
+    lock.lock();
+    bg_io_.Accumulate(merge_io);
+    if (!s.ok()) return s;
+
+    std::vector<std::unique_ptr<SSTable>> graveyard;
+    graveyard.swap(tiers_[tier]);
     if (tier + 1 >= tiers_.size()) tiers_.emplace_back();
     tiers_[tier + 1].push_back(std::move(merged));
     ++compactions_run_;
+    RebuildFlatViewLocked();
+    K2_RETURN_NOT_OK(WriteManifestLocked());
+    // The inputs left the MANIFEST with that commit; their files and handles
+    // can go (recovery sweeps any unlink a crash interrupts).
+    for (const auto& old : graveyard) env_->RemoveFile(old->path());
     // A cascade may now be due in tier+1; the loop continues upward.
   }
   return Status::OK();
 }
 
-Result<std::unique_ptr<SSTable>> LsmStore::MergeTables(
-    const std::vector<std::unique_ptr<SSTable>>& tables) {
-  // Sort-based merge: materialize (key, seq, value), keep the newest version
-  // of each key. Table sizes at our scales fit comfortably in memory; a
-  // streaming k-way heap merge would replace this for out-of-core tables.
-  struct Row {
-    uint64_t key;
-    uint64_t seq;
-    LsmValue value;
-  };
-  std::vector<Row> rows;
-  uint64_t total = 0;
-  for (const auto& table : tables) total += table->num_entries();
-  rows.reserve(total);
-  for (const auto& table : tables) {
-    const uint64_t seq = table->seq();
-    K2_RETURN_NOT_OK(
-        table->Scan(0, ~0ULL, [&](uint64_t key, const LsmValue& value) {
-          rows.push_back(Row{key, seq, value});
-        }));
-  }
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.seq > b.seq;  // newest first within a key
-  });
-
-  const std::string path = NextTablePath();
-  SSTableBuilder builder(path);
-  builder.Reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (i > 0 && rows[i].key == rows[i - 1].key) continue;  // older version
-    K2_RETURN_NOT_OK(builder.Add(rows[i].key, rows[i].value));
-  }
-  K2_RETURN_NOT_OK(builder.Finish());
-  K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> merged,
-                      SSTable::Open(path, next_seq_, &io_stats_));
-  ++next_seq_;
-  return merged;
-}
-
-void LsmStore::RebuildFlatView() {
+void LsmStore::RebuildFlatViewLocked() {
   flat_newest_first_.clear();
   for (auto& tier : tiers_) {
     for (auto& table : tier) flat_newest_first_.push_back(table.get());
@@ -320,20 +627,159 @@ void LsmStore::RebuildFlatView() {
             [](const SSTable* a, const SSTable* b) { return a->seq() > b->seq(); });
 }
 
+// ---------------------------------------------------------------------------
+// Background worker
+// ---------------------------------------------------------------------------
+
+void LsmStore::StartWorker() {
+  worker_started_ = true;
+  worker_ = std::thread([this] { WorkerMain(); });
+}
+
+void LsmStore::StopWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void LsmStore::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (!pending_.empty() && write_error_.ok());
+    });
+    if (stop_) return;  // queued data stays recoverable through the WAL
+    worker_busy_ = true;
+    Status s = FlushFrontLocked(lock);
+    if (s.ok()) s = CompactLocked(lock);
+    if (!s.ok()) write_error_ = s;
+    worker_busy_ = false;
+    drain_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load / reads / metadata
+// ---------------------------------------------------------------------------
+
+Status LsmStore::BulkLoad(const Dataset& dataset) {
+  K2_RETURN_NOT_OK(init_status_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Let any in-flight background job finish, then reset all content —
+    // including a sticky write error: a reload is a fresh start.
+    drain_cv_.wait(lock, [&] { return !worker_busy_; });
+    std::vector<std::string> doomed;
+    for (const PendingMemtable& p : pending_) {
+      for (uint64_t seq : p.wal_seqs) doomed.push_back(WalFilePath(seq));
+    }
+    pending_.clear();
+    for (auto& tier : tiers_) {
+      for (auto& table : tier) doomed.push_back(table->path());
+    }
+    for (uint64_t seq : active_wal_seqs_) doomed.push_back(WalFilePath(seq));
+    if (wal_ != nullptr) wal_->Close();
+    wal_.reset();
+    tiers_.clear();
+    flat_newest_first_.clear();
+    memtable_ = std::make_unique<lsm::SkipList>();
+    tick_cache_.clear();
+    num_points_ = 0;
+    write_error_ = Status::OK();
+    for (const std::string& path : doomed) env_->RemoveFile(path);
+    K2_RETURN_NOT_OK(OpenActiveWalLocked(/*fresh_wal_set=*/true));
+    Status s = WriteManifestLocked();
+    if (!s.ok()) {
+      write_error_ = s;
+      return s;
+    }
+    bulk_loading_ = true;
+  }
+
+  // Route every row through the write path so that flushes and compactions
+  // actually happen — the generators emit in time order, which mirrors how
+  // movement data arrives in an operational store. WAL logging is off until
+  // the final Flush has made everything durable as SSTables (see header).
+  Status load = Status::OK();
+  for (const PointRecord& rec : dataset.records()) {
+    load = Put(rec.t, rec.oid, rec.x, rec.y);
+    if (!load.ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bulk_loading_ = false;
+  }
+  K2_RETURN_NOT_OK(load);
+  K2_RETURN_NOT_OK(Flush());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  num_points_ = dataset.num_points();
+  // Loading routed every row through Put, so flush/compaction IO landed in
+  // io_stats_ — reset, or the first mining run's pruning_ratio() would be
+  // polluted by ingest reads (Table 5 numbers).
+  io_stats_.Clear();
+  bg_io_.Clear();
+  return Status::OK();
+}
+
+size_t LsmStore::CollectMemsLocked(const lsm::SkipList** mems) const {
+  size_t n = 0;
+  mems[n++] = memtable_.get();
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    mems[n++] = it->mem.get();
+  }
+  return n;
+}
+
+// Stack-buffer capacity for the per-read memtable list: backpressure bounds
+// pending_ at max_pending_memtables (default 2), so 1 + pending always fits
+// unless a caller cranks the option; then reads fall back to the heap.
+constexpr size_t kMaxReadMems = 8;
+
 Status LsmStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
-  return LsmScanTimestamp(memtable_, flat_newest_first_, t, out, &io_stats_);
+  std::lock_guard<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(init_status_);
+  const lsm::SkipList* stack_mems[kMaxReadMems];
+  std::vector<const lsm::SkipList*> heap_mems;
+  const lsm::SkipList** mems = stack_mems;
+  if (1 + pending_.size() > kMaxReadMems) {
+    heap_mems.resize(1 + pending_.size());
+    mems = heap_mems.data();
+  }
+  const size_t n = CollectMemsLocked(mems);
+  return LsmScanTimestamp(mems, n, flat_newest_first_, t, out, &io_stats_);
 }
 
 Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
                            std::vector<SnapshotPoint>* out) {
-  return LsmGetPoints(memtable_, flat_newest_first_, options_.use_bloom, t,
+  std::lock_guard<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(init_status_);
+  const lsm::SkipList* stack_mems[kMaxReadMems];
+  std::vector<const lsm::SkipList*> heap_mems;
+  const lsm::SkipList** mems = stack_mems;
+  if (1 + pending_.size() > kMaxReadMems) {
+    heap_mems.resize(1 + pending_.size());
+    mems = heap_mems.data();
+  }
+  const size_t n = CollectMemsLocked(mems);
+  return LsmGetPoints(mems, n, flat_newest_first_, options_.use_bloom, t,
                       objects, out, &io_stats_);
 }
 
 Result<std::unique_ptr<Store>> LsmStore::CreateReadSnapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  K2_RETURN_NOT_OK(init_status_);
+  // Queued flushes must land first so the frozen run plus the table files
+  // cover everything; a store with a sticky write error cannot guarantee
+  // that, so snapshotting it fails with the same error.
+  K2_RETURN_NOT_OK(DrainLocked(lock));
   SortedRun run;
   // ForEach visits in key order, so the run is born sorted.
-  memtable_.ForEach(
+  memtable_->ForEach(
       [&](uint64_t key, const LsmValue& value) { run.Add(key, value); });
   auto snapshot = std::make_unique<LsmReadSnapshot>(
       std::move(run), options_.use_bloom, tick_cache_, num_points_);
@@ -355,10 +801,36 @@ const std::vector<Timestamp>& LsmStore::timestamps() const {
   return tick_cache_;
 }
 
+Status LsmStore::write_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_error_;
+}
+
 size_t LsmStore::num_sstables() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& tier : tiers_) n += tier.size();
   return n;
+}
+
+size_t LsmStore::num_tiers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tiers_.size();
+}
+
+size_t LsmStore::memtable_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_->size();
+}
+
+uint64_t LsmStore::compactions_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_run_;
+}
+
+IoStats LsmStore::background_io_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bg_io_;
 }
 
 }  // namespace k2

@@ -3,15 +3,35 @@
 // key is (t, oid), all rows of a timestamp are co-located, so a benchmark
 // scan is one range read with a single seek, while point reads use per-table
 // bloom filters — precisely the access mix k/2-hop generates.
+//
+// Crash safety: every mutation is framed into a write-ahead log before it
+// touches the memtable (Append fdatasyncs the WAL per tick by default), the
+// MANIFEST records the live SSTables per tier plus the WAL segments still
+// holding unflushed data, and SSTables are published atomically (tmp + fsync
+// + rename). Reopening a directory replays the longest valid WAL prefix on
+// top of the MANIFEST's tables — the recovery path the fault-injection crash
+// matrix in tests/lsm_crash_*.cc sweeps op by op.
+//
+// Tail latency: a full memtable is handed off as an immutable run to a
+// background thread that builds the SSTable and runs the compaction cascade,
+// so the foreground Put/Append path never absorbs a flush or merge spike
+// (LsmStoreOptions::background_compaction, on by default).
 #ifndef K2_STORAGE_LSM_STORE_H_
 #define K2_STORAGE_LSM_STORE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/env.h"
+#include "storage/lsm/manifest.h"
 #include "storage/lsm/skiplist.h"
 #include "storage/lsm/sstable.h"
+#include "storage/lsm/wal.h"
 #include "storage/store.h"
 
 namespace k2 {
@@ -23,16 +43,41 @@ struct LsmStoreOptions {
   size_t tier_fanout = 4;
   /// Ablation switch: disable bloom filters on the read path.
   bool use_bloom = true;
+  /// File-system shim for every write-path IO (WAL, SSTable build,
+  /// MANIFEST); nullptr = Env::Default(). The fault-injection tests
+  /// substitute a FaultInjectionEnv here.
+  Env* env = nullptr;
+  /// fdatasync the WAL once per Append() tick, making the tick durable
+  /// before Append returns (~1 ms on commodity storage). Put() never syncs;
+  /// its records become durable at the next Append, Flush, or rotation
+  /// sync. Disabling trades per-tick durability for raw ingest speed.
+  bool wal_sync_every_append = true;
+  /// Run flush + compaction on a background thread (immutable-memtable
+  /// handoff). Disabled, the same jobs run synchronously inside the write
+  /// path — the deterministic mode the crash-matrix tests sweep.
+  bool background_compaction = true;
+  /// Ingest backpressure: a write that needs to rotate blocks while this
+  /// many immutable memtables are already queued for flush.
+  size_t max_pending_memtables = 2;
 };
 
 class LsmStore final : public Store {
  public:
   using Options = LsmStoreOptions;
 
-  /// SSTable files live under `dir` (created on demand).
+  /// Opens (or creates) the store in `dir`, recovering MANIFEST + WAL state
+  /// left by a previous process. A recovery failure is sticky: every
+  /// subsequent operation returns it (see init_status()).
   explicit LsmStore(std::string dir, Options options = {});
+  ~LsmStore() override;
 
   std::string name() const override { return "lsmt"; }
+  /// Replaces all content with `dataset`, routing rows through the normal
+  /// write path (flushes and compactions happen for real) but WITHOUT WAL
+  /// logging: a bulk rebuild has nothing durable to promise until it
+  /// returns, at which point the final Flush has published every row as
+  /// SSTables + MANIFEST — stronger than WAL durability. A crash mid-load
+  /// recovers some clean prefix of the dataset's rows.
   Status BulkLoad(const Dataset& dataset) override;
   Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
@@ -42,38 +87,89 @@ class LsmStore final : public Store {
   const std::vector<Timestamp>& timestamps() const override;
   uint64_t num_points() const override { return num_points_; }
 
-  /// Native snapshot: opens a private SSTable handle (own mmap, block
-  /// cache, bloom, IO accounting) per immutable table file and freezes the
-  /// memtable into a sorted run, so concurrent readers share nothing
-  /// mutable.
+  /// Native snapshot: drains background work, then opens a private SSTable
+  /// handle (own mmap, block cache, bloom, IO accounting) per immutable
+  /// table file and freezes the memtable into a sorted run, so concurrent
+  /// readers share nothing mutable.
   Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
 
   /// Single-row insert ("fast data inserts" requirement (3) of Sec. 5);
-  /// flushes / compacts automatically.
+  /// WAL-logged, rotates the memtable automatically when full.
   Status Put(Timestamp t, ObjectId oid, double x, double y);
 
-  /// Forces the memtable out to a fresh SSTable.
+  /// Rotates a non-empty memtable out and blocks until every queued flush
+  /// and compaction has completed (and been committed to the MANIFEST).
   Status Flush();
 
+  /// First error of recovery-on-open, sticky across all operations.
+  const Status& init_status() const { return init_status_; }
+  /// First unrecovered write-path error (WAL, flush, compaction, MANIFEST),
+  /// sticky: later writes fail with it, reads keep working.
+  Status write_error() const;
+
   size_t num_sstables() const;
-  size_t num_tiers() const { return tiers_.size(); }
-  size_t memtable_entries() const { return memtable_.size(); }
-  uint64_t compactions_run() const { return compactions_run_; }
+  size_t num_tiers() const;
+  /// Entries in the active (mutable) memtable.
+  size_t memtable_entries() const;
+  uint64_t compactions_run() const;
+  /// IO performed by flush/compaction reading their merge inputs — kept out
+  /// of io_stats() so query-path pruning accounting stays clean.
+  IoStats background_io_stats() const;
 
  private:
-  Status MaybeFlush();
-  /// Merges any tier that reached the fanout into the next tier.
-  Status MaybeCompact();
-  /// Sort-merges `tables` (newest-wins on duplicate keys) into one new
-  /// SSTable and returns it.
-  Result<std::unique_ptr<lsm::SSTable>> MergeTables(
-      const std::vector<std::unique_ptr<lsm::SSTable>>& tables);
-  std::string NextTablePath();
-  void RebuildFlatView();
+  /// An immutable memtable queued for flush, together with the WAL segments
+  /// whose records it holds (deleted once the flush is committed).
+  struct PendingMemtable {
+    std::shared_ptr<const lsm::SkipList> mem;
+    std::vector<uint64_t> wal_seqs;
+  };
+
+  // All Locked methods require mu_ held; the job methods (FlushFrontLocked,
+  // CompactLocked) drop it around file IO and re-take it to install results.
+  Status Recover();
+  Status WritableLocked() const;
+  std::string TableFilePath(uint64_t seq) const;
+  std::string WalFilePath(uint64_t seq) const;
+  lsm::ManifestState ManifestSnapshotLocked() const;
+  Status WriteManifestLocked();
+  Status OpenActiveWalLocked(bool fresh_wal_set);
+  Status WalAppendLocked(Timestamp t, const std::vector<SnapshotPoint>& points,
+                         bool sync);
+  void ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y);
+  Status MaybeRotateLocked(std::unique_lock<std::mutex>& lock);
+  Status RotateMemtableLocked(std::unique_lock<std::mutex>& lock);
+  /// Blocks until queued work is done (background) or runs it inline (sync
+  /// mode); returns the sticky write error if one surfaced.
+  Status DrainLocked(std::unique_lock<std::mutex>& lock);
+  Status FlushFrontLocked(std::unique_lock<std::mutex>& lock);
+  Status CompactLocked(std::unique_lock<std::mutex>& lock);
+  void RebuildFlatViewLocked();
+  /// Fills `mems` (active memtable first, then pending newest-first) and
+  /// returns the count. The caller must size `mems` for 1 + pending_.size();
+  /// reads use a stack buffer since backpressure bounds the pending queue.
+  size_t CollectMemsLocked(const lsm::SkipList** mems) const;
+  void StartWorker();
+  void StopWorker();
+  void WorkerMain();
 
   std::string dir_;
   Options options_;
-  lsm::SkipList memtable_;
+  Env* env_;
+  Status init_status_;
+
+  /// One lock guards every piece of shared LSM state below. Foreground
+  /// reads hold it across the whole read (the store contract already
+  /// serializes readers externally; this lock only fences the background
+  /// thread), the worker holds it only while installing results.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals the worker: work or stop.
+  std::condition_variable drain_cv_;  ///< Signals waiters: job finished.
+
+  std::unique_ptr<lsm::SkipList> memtable_;  ///< Active, foreground-written.
+  std::vector<uint64_t> active_wal_seqs_;    ///< WAL segments feeding it.
+  std::unique_ptr<lsm::WalWriter> wal_;
+  std::deque<PendingMemtable> pending_;  ///< Oldest first, awaiting flush.
+
   /// tiers_[i] = tables of tier i, oldest first. Tier number grows with
   /// table size (size-tiered compaction).
   std::vector<std::vector<std::unique_ptr<lsm::SSTable>>> tiers_;
@@ -82,6 +178,16 @@ class LsmStore final : public Store {
   uint64_t next_seq_ = 1;
   uint64_t num_points_ = 0;
   uint64_t compactions_run_ = 0;
+  Status write_error_;
+  /// True while BulkLoad streams rows in: WAL logging is skipped (see
+  /// BulkLoad's durability note), everything else behaves normally.
+  bool bulk_loading_ = false;
+  IoStats bg_io_;  ///< Merge-input reads of flush/compaction jobs.
+
+  std::thread worker_;
+  bool worker_started_ = false;
+  bool worker_busy_ = false;
+  bool stop_ = false;
 
   /// Sorted, duplicate-free tick list, maintained eagerly on mutation
   /// (Put/BulkLoad) so the const read path never writes shared state —
@@ -89,6 +195,9 @@ class LsmStore final : public Store {
   /// data race under the parallel mining pipeline's concurrent metadata
   /// reads.
   std::vector<Timestamp> tick_cache_;
+
+  /// Reused per-Append WAL record serialization buffer.
+  std::string wal_scratch_;
 };
 
 }  // namespace k2

@@ -61,12 +61,23 @@ double PruningRatio(const IoStats& io, uint64_t total_points);
 /// (`time_range`, `timestamps`, `num_points`) mutates internal state, so
 /// const snapshots of the metadata may be taken without the store lock as
 /// long as no writer is active. Writers (`BulkLoad`, `Append`) must have
-/// exclusive access.
+/// exclusive access — "single-writer" means one *external* writer thread;
+/// the contract says nothing about what the engine does internally.
+///
+/// Engines MAY run internal background threads (the LSM store's
+/// flush/compaction worker) as long as that is invisible under this
+/// contract: every externally observable operation, including the const
+/// accessors, must be correctly synchronized against the engine's own
+/// threads by the engine itself (the LSM store fences all shared state
+/// with one internal mutex; the TSan CI job enforces this). Destruction
+/// and `BulkLoad` must quiesce internal workers before returning.
 ///
 /// For lock-free concurrent reads, `CreateReadSnapshot` hands out
 /// independent read-only handles (one per reader thread) instead of sharing
 /// the store under a mutex — the access path the partitioned miner uses to
-/// keep shards from serializing on one store.
+/// keep shards from serializing on one store. Snapshot creation drains any
+/// internal background work first, so a snapshot is a stable point-in-time
+/// view.
 class Store {
  public:
   virtual ~Store() = default;
