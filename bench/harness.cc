@@ -147,11 +147,18 @@ void RecordMiningRun(const std::string& miner, const Store& store,
                      const MiningParams& params, double seconds,
                      size_t convoys, const IoStats& io,
                      const JsonFields& extra) {
+  RecordBenchRow(miner, store.name(), params, seconds, convoys, io, extra);
+}
+
+void RecordBenchRow(const std::string& miner, const std::string& store_name,
+                    const MiningParams& params, double seconds,
+                    size_t convoys, const IoStats& io,
+                    const JsonFields& extra) {
   JsonSink& sink = Sink();
   if (sink.path.empty()) return;
   std::ostringstream os;
   os << "{\"bench\":\"" << JsonEscape(sink.bench) << "\",\"miner\":\""
-     << JsonEscape(miner) << "\",\"store\":\"" << JsonEscape(store.name())
+     << JsonEscape(miner) << "\",\"store\":\"" << JsonEscape(store_name)
      << "\",\"params\":{\"m\":" << params.m << ",\"k\":" << params.k
      << ",\"eps\":" << JsonNumber(params.eps) << "},\"wall_ms\":"
      << JsonNumber(seconds * 1e3) << ",\"convoys\":" << convoys

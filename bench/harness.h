@@ -86,6 +86,16 @@ void RecordMiningRun(const std::string& miner, const Store& store,
                      const MiningParams& params, double seconds,
                      size_t convoys, const IoStats& io,
                      const JsonFields& extra = {});
+
+/// Store-less variant for rows that are not mining runs (e.g. the kernel
+/// microbenches): `store_name` fills the record's store key directly. Keys
+/// must be machine-independent — bench_compare.py fails on baseline rows
+/// missing from a fresh snapshot, so never key a row by a hardware-derived
+/// value (put those in `extra` instead).
+void RecordBenchRow(const std::string& miner, const std::string& store_name,
+                    const MiningParams& params, double seconds,
+                    size_t convoys, const IoStats& io,
+                    const JsonFields& extra = {});
 MineOutcome RunVcoda(Store* store, const MiningParams& params, bool corrected,
                      VcodaStats* stats = nullptr);
 MineOutcome RunSpare(Store* store, const MiningParams& params, int workers);

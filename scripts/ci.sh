@@ -17,4 +17,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
+# Record which kernel implementations this run dispatches to (the K2_SIMD
+# env var caps the level; see src/common/simd.h).
+"$BUILD_DIR/src/k2_simd_info"
 ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j "$JOBS"

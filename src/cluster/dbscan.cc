@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace k2 {
 
 namespace {
@@ -12,15 +14,19 @@ namespace {
 // them).
 constexpr size_t kBruteForceThreshold = 32;
 
-void BruteForceNeighbors(std::span<const SnapshotPoint> points, size_t i,
+// Brute-force region query over the scratch's SoA mirror, through the same
+// dispatched eps-scan kernel as the grid path. The kernel needs room for
+// all n candidates (compress-store slack), so the vector is grown to the
+// upper bound and trimmed to the matches written.
+void BruteForceNeighbors(const DbscanScratch& scratch, double qx, double qy,
                          double eps, std::vector<uint32_t>* out) {
-  const double eps2 = eps * eps;
-  const SnapshotPoint& p = points[i];
-  for (size_t j = 0; j < points.size(); ++j) {
-    const double dx = points[j].x - p.x;
-    const double dy = points[j].y - p.y;
-    if (dx * dx + dy * dy <= eps2) out->push_back(static_cast<uint32_t>(j));
-  }
+  const size_t n = scratch.bf_ids.size();
+  const size_t written = out->size();
+  out->resize(written + n);
+  const size_t cnt = simd::Active().eps_scan(
+      scratch.bf_xs.data(), scratch.bf_ys.data(), scratch.bf_ids.data(), n,
+      qx, qy, eps * eps, out->data() + written);
+  out->resize(written + cnt);
 }
 
 DbscanScratch* ThreadLocalScratch() {
@@ -37,19 +43,53 @@ void RunDbscan(std::span<const SnapshotPoint> points, double eps, int min_pts,
   if (n == 0 || min_pts <= 0) return;
 
   const bool use_grid = n > kBruteForceThreshold;
-  if (use_grid) scratch->grid.Build(points, eps);
+  if (use_grid) {
+    // Cell size = eps keeps every eps region query inside the GridIndex
+    // contract (queries are only valid for eps <= the Build() cell size).
+    scratch->grid.Build(points, eps);
+  } else {
+    scratch->bf_xs.resize(n);
+    scratch->bf_ys.resize(n);
+    scratch->bf_ids.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      scratch->bf_xs[j] = points[j].x;
+      scratch->bf_ys[j] = points[j].y;
+      scratch->bf_ids[j] = static_cast<uint32_t>(j);
+    }
+  }
   auto region_query = [&](size_t i, std::vector<uint32_t>* nbrs) {
     nbrs->clear();
     if (use_grid) {
       scratch->grid.Neighbors(i, eps, nbrs);
     } else {
-      BruteForceNeighbors(points, i, eps, nbrs);
+      BruteForceNeighbors(*scratch, points[i].x, points[i].y, eps, nbrs);
+    }
+  };
+  // Batched region query: fills flat CSR neighbor lists for a whole slice
+  // of the seed queue, so the grid's row segments stay cache-hot across
+  // queries that came from one neighborhood.
+  auto region_query_batch = [&](std::span<const uint32_t> queries,
+                                std::vector<uint32_t>* flat,
+                                std::vector<uint32_t>* offsets) {
+    if (use_grid) {
+      scratch->grid.NeighborsBatch(queries, eps, flat, offsets);
+      return;
+    }
+    flat->clear();
+    offsets->clear();
+    offsets->push_back(0);
+    for (const uint32_t q : queries) {
+      BruteForceNeighbors(*scratch, points[q].x, points[q].y, eps, flat);
+      offsets->push_back(static_cast<uint32_t>(flat->size()));
     }
   };
 
   scratch->visited.assign(n, 0);
   std::vector<uint32_t>& neighbors = scratch->neighbors;
   std::vector<uint32_t>& seeds = scratch->seeds;
+  std::vector<uint32_t>& batch = scratch->batch;
+  std::vector<uint32_t>& flat = scratch->nbr_flat;
+  std::vector<uint32_t>& offsets = scratch->nbr_offsets;
 
   for (size_t i = 0; i < n; ++i) {
     if (scratch->visited[i]) continue;
@@ -60,19 +100,36 @@ void RunDbscan(std::span<const SnapshotPoint> points, double eps, int min_pts,
     const int32_t cluster = out->num_clusters++;
     out->label[i] = cluster;
     seeds.assign(neighbors.begin(), neighbors.end());
-    // Classic ExpandCluster: the seed list grows while new core points are
-    // discovered; border points get the cluster of the first core reaching
-    // them.
-    for (size_t s = 0; s < seeds.size(); ++s) {
-      const uint32_t j = seeds[s];
-      if (!scratch->visited[j]) {
-        scratch->visited[j] = 1;
-        region_query(j, &neighbors);
-        if (neighbors.size() >= static_cast<size_t>(min_pts)) {
-          seeds.insert(seeds.end(), neighbors.begin(), neighbors.end());
+    // Batched ExpandCluster: each round takes the current tail of the seed
+    // queue, marks its unvisited points, batch-fills their neighbor lists,
+    // and appends the core points' neighbors. Labels are identical to the
+    // one-seed-at-a-time loop: every enqueued point gets this cluster (or
+    // keeps an earlier one), core-ness is a property of the point alone,
+    // and the set of points ever enqueued is the density-connected closure
+    // regardless of expansion order — visit marks and appends also happen
+    // in the same queue order as the classic loop.
+    for (size_t s = 0; s < seeds.size();) {
+      const size_t end = seeds.size();
+      batch.clear();
+      for (size_t t = s; t < end; ++t) {
+        const uint32_t j = seeds[t];
+        if (out->label[j] < 0) out->label[j] = cluster;
+        if (!scratch->visited[j]) {
+          scratch->visited[j] = 1;
+          batch.push_back(j);
         }
       }
-      if (out->label[j] < 0) out->label[j] = cluster;
+      if (!batch.empty()) {
+        region_query_batch(batch, &flat, &offsets);
+        for (size_t b = 0; b < batch.size(); ++b) {
+          const uint32_t lo = offsets[b];
+          const uint32_t hi = offsets[b + 1];
+          if (hi - lo >= static_cast<uint32_t>(min_pts)) {
+            seeds.insert(seeds.end(), flat.begin() + lo, flat.begin() + hi);
+          }
+        }
+      }
+      s = end;
     }
   }
 }

@@ -39,6 +39,15 @@ struct DbscanScratch {
   DbscanLabels labels;
   std::vector<std::vector<ObjectId>> members;
   std::vector<SnapshotPoint> filtered;
+  // Batched-expansion buffers: the unvisited slice of the seed queue and
+  // the flat neighbor lists (CSR offsets) its region queries fill.
+  std::vector<uint32_t> batch;
+  std::vector<uint32_t> nbr_flat;
+  std::vector<uint32_t> nbr_offsets;
+  // SoA mirror of small snapshots so the brute-force region query runs the
+  // same dispatched eps-scan kernel as the grid path.
+  std::vector<double> bf_xs, bf_ys;
+  std::vector<uint32_t> bf_ids;
 };
 
 /// Clusters the snapshot and returns the (m,eps)-clusters as object-id sets

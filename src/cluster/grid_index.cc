@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace k2 {
 
 void GridIndex::Build(std::span<const SnapshotPoint> points,
                       double cell_size) {
   K2_CHECK(cell_size > 0.0);
+  requested_cell_ = cell_size;
   const size_t n = points.size();
   px_.resize(n);
   py_.resize(n);
@@ -84,6 +86,9 @@ void GridIndex::Build(std::span<const SnapshotPoint> points,
 
 void GridIndex::NeighborsOf(double x, double y, double eps,
                             std::vector<uint32_t>* out) const {
+  // The 3x3 block only covers eps-neighborhoods up to the cell size the
+  // caller asked Build() for; beyond that the query silently misses points.
+  K2_DCHECK(eps <= requested_cell_);
   if (px_.empty()) return;
   // Compute the 3x1 column range and 1x3 row range around the query cell in
   // floating point first: a far-away query must not overflow the int64 cast.
@@ -102,17 +107,36 @@ void GridIndex::NeighborsOf(double x, double y, double eps,
   if (x0 > x1 || y0 > y1) return;
 
   const double eps2 = eps * eps;
+  const auto& kernels = simd::Active();
   for (int64_t ry = y0; ry <= y1; ++ry) {
     // The row's three cells are adjacent in the row-major layout: one
-    // contiguous segment of the CSR arrays per row.
+    // contiguous segment of the CSR arrays per row, handed to the
+    // dispatched eps-scan kernel as a unit. The kernel needs room for the
+    // whole segment (compress-store slack), so the vector is grown to the
+    // upper bound and trimmed to the matches written.
     const size_t base = static_cast<size_t>(ry * nx_);
     const uint32_t lo = cell_starts_[base + static_cast<size_t>(x0)];
     const uint32_t hi = cell_starts_[base + static_cast<size_t>(x1) + 1];
-    for (uint32_t j = lo; j < hi; ++j) {
-      const double dx = xs_[j] - x;
-      const double dy = ys_[j] - y;
-      if (dx * dx + dy * dy <= eps2) out->push_back(point_ids_[j]);
-    }
+    if (lo == hi) continue;
+    const size_t written = out->size();
+    out->resize(written + (hi - lo));
+    const size_t cnt = kernels.eps_scan(xs_.data() + lo, ys_.data() + lo,
+                                        point_ids_.data() + lo, hi - lo, x, y,
+                                        eps2, out->data() + written);
+    out->resize(written + cnt);
+  }
+}
+
+void GridIndex::NeighborsBatch(std::span<const uint32_t> queries, double eps,
+                               std::vector<uint32_t>* flat,
+                               std::vector<uint32_t>* offsets) const {
+  flat->clear();
+  offsets->clear();
+  offsets->reserve(queries.size() + 1);
+  offsets->push_back(0);
+  for (const uint32_t q : queries) {
+    NeighborsOf(px_[q], py_[q], eps, flat);
+    offsets->push_back(static_cast<uint32_t>(flat->size()));
   }
 }
 

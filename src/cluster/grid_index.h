@@ -41,14 +41,32 @@ class GridIndex {
 
   /// Appends to `out` the indices of all points within `eps` of point `i`
   /// (including `i` itself), matching NH(p, eps) of paper Sec. 3.1.
-  /// `eps` must be <= the cell size requested at Build().
+  ///
+  /// Contract: `eps` must be <= the cell size requested at Build() — the
+  /// query scans only the 3x3 cell block around the point, so a larger eps
+  /// silently drops neighbors beyond that block. Enforced with a debug
+  /// CHECK (K2_DCHECK) here and in NeighborsOf; release builds trust the
+  /// caller. Use Region() for radius-independent rectangle queries.
   void Neighbors(size_t i, double eps, std::vector<uint32_t>* out) const {
     NeighborsOf(px_[i], py_[i], eps, out);
   }
 
-  /// Same query for an arbitrary location.
+  /// Same query for an arbitrary location. Same `eps` contract as
+  /// Neighbors(): debug-CHECKed against the Build() cell size.
   void NeighborsOf(double x, double y, double eps,
                    std::vector<uint32_t>* out) const;
+
+  /// Batched Neighbors(): for each point index in `queries`, appends its
+  /// eps-neighborhood to `flat`; on return, query q's neighbors occupy
+  /// `[(*offsets)[q], (*offsets)[q + 1])` of `flat`. Both outputs are
+  /// overwritten (not appended to). Byte-identical to calling Neighbors()
+  /// per query — this exists so DBSCAN can fill a whole seed queue's
+  /// neighbor lists in one pass: consecutive seeds come from one
+  /// neighborhood, so the row segments they scan stay cache-hot across the
+  /// batch. Same `eps` contract as Neighbors().
+  void NeighborsBatch(std::span<const uint32_t> queries, double eps,
+                      std::vector<uint32_t>* flat,
+                      std::vector<uint32_t>* offsets) const;
 
   /// Appends to `out` the indices of all points inside `rect` (inclusive
   /// bounds), in CSR scan order (row-major by cell, snapshot order within a
@@ -69,9 +87,12 @@ class GridIndex {
     return static_cast<int64_t>(std::floor((y - min_y_) * inv_cell_));
   }
 
-  // Grid geometry. inv_cell_ = 1 / effective cell size.
+  // Grid geometry. inv_cell_ = 1 / effective cell size. requested_cell_ is
+  // the cell size the caller asked Build() for (the effective size only
+  // grows above it), kept to debug-CHECK the eps query contract.
   double min_x_ = 0.0, min_y_ = 0.0;
   double inv_cell_ = 0.0;
+  double requested_cell_ = 0.0;
   int64_t nx_ = 0, ny_ = 0;
   size_t num_occupied_cells_ = 0;
 

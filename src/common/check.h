@@ -29,4 +29,15 @@ namespace k2::internal {
                                   _k2_check_status.ToString().c_str());    \
   } while (false)
 
+// Debug-only contract check: compiled out under NDEBUG (release builds),
+// aborts like K2_CHECK otherwise. For hot-path preconditions that are cheap
+// to state but too expensive (or too late) to re-validate in production.
+#ifdef NDEBUG
+#define K2_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define K2_DCHECK(cond) K2_CHECK(cond)
+#endif
+
 #endif  // K2_COMMON_CHECK_H_

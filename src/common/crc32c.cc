@@ -1,32 +1,14 @@
 #include "common/crc32c.h"
 
+#include "common/simd.h"
+
 namespace k2 {
 
-namespace {
-
-struct Crc32cTable {
-  uint32_t t[256];
-  Crc32cTable() {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int j = 0; j < 8; ++j) {
-        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
-      }
-      t[i] = c;
-    }
-  }
-};
-
-}  // namespace
-
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
-  static const Crc32cTable table;
-  const auto* p = static_cast<const uint8_t*>(data);
-  uint32_t c = ~seed;
-  for (size_t i = 0; i < n; ++i) {
-    c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return ~c;
+  // The scalar table-driven implementation lives in simd.cc as the dispatch
+  // fallback and differential oracle; SSE4.2 machines get the crc32
+  // instruction with 3-way stream interleave.
+  return simd::Active().crc32c(data, n, seed);
 }
 
 }  // namespace k2

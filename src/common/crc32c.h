@@ -2,7 +2,10 @@
 // checksum guarding every durable byte of the LSM write path: WAL record
 // frames, the SSTable footer's metadata region, and the MANIFEST trailer.
 // Castagnoli rather than the zlib polynomial for its better burst-error
-// detection; table-driven software implementation (no SSE4.2 dependency).
+// detection — and because SSE4.2 implements exactly this polynomial in
+// hardware. The implementation runtime-dispatches through common/simd.h
+// (hardware crc32 with 3-way stream interleave when available, table-driven
+// software fallback otherwise); K2_SIMD=scalar forces the fallback.
 #ifndef K2_COMMON_CRC32C_H_
 #define K2_COMMON_CRC32C_H_
 

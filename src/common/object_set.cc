@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "common/simd.h"
+
 namespace k2 {
 
 ObjectSet::ObjectSet(std::vector<ObjectId> ids) : ids_(std::move(ids)) {
@@ -28,16 +30,18 @@ bool ObjectSet::Contains(ObjectId oid) const {
 }
 
 bool ObjectSet::IsSubsetOf(const ObjectSet& other) const {
-  if (size() > other.size()) return false;
-  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
-                       ids_.end());
+  return simd::Active().is_subset(ids_.data(), ids_.size(), other.ids_.data(),
+                                  other.ids_.size());
 }
 
 ObjectSet ObjectSet::Intersect(const ObjectSet& a, const ObjectSet& b) {
-  std::vector<ObjectId> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
-                        b.ids_.end(), std::back_inserter(out));
+  // min(na, nb) result entries plus the kernel's compress-store slack.
+  std::vector<ObjectId> out(std::min(a.size(), b.size()) +
+                            simd::kMaxLaneSlack);
+  const size_t n = simd::Active().intersect(a.ids_.data(), a.size(),
+                                            b.ids_.data(), b.size(),
+                                            out.data());
+  out.resize(n);
   return FromSorted(std::move(out));
 }
 
@@ -58,21 +62,8 @@ ObjectSet ObjectSet::Difference(const ObjectSet& a, const ObjectSet& b) {
 }
 
 size_t ObjectSet::IntersectionSize(const ObjectSet& a, const ObjectSet& b) {
-  size_t n = 0;
-  auto ia = a.ids_.begin();
-  auto ib = b.ids_.begin();
-  while (ia != a.ids_.end() && ib != b.ids_.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      ++n;
-      ++ia;
-      ++ib;
-    }
-  }
-  return n;
+  return simd::Active().intersect_size(a.ids_.data(), a.size(), b.ids_.data(),
+                                       b.size());
 }
 
 std::string ObjectSet::DebugString() const {

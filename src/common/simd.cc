@@ -1,0 +1,776 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define K2_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define K2_SIMD_X86 0
+#endif
+
+namespace k2::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the dispatch fallback and the differential oracle every
+// vector implementation is tested byte-identical against.
+// ---------------------------------------------------------------------------
+
+size_t EpsScanScalar(const double* xs, const double* ys, const uint32_t* ids,
+                     size_t n, double qx, double qy, double eps2,
+                     uint32_t* out) {
+  size_t cnt = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const double dx = xs[j] - qx;
+    const double dy = ys[j] - qy;
+    if (dx * dx + dy * dy <= eps2) out[cnt++] = ids[j];
+  }
+  return cnt;
+}
+
+size_t IntersectScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, cnt = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[cnt++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+size_t IntersectSizeScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb) {
+  size_t i = 0, j = 0, cnt = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++cnt;
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+bool IsSubsetScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb) {
+  if (na > nb) return false;
+  size_t j = 0;
+  for (size_t i = 0; i < na; ++i) {
+    while (j < nb && b[j] < a[i]) ++j;
+    if (j == nb || b[j] != a[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+uint32_t Crc32cScalar(const void* data, size_t n, uint32_t seed) {
+  // Table-driven software CRC-32C (Castagnoli, reflected 0x82F63B78).
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+// ---------------------------------------------------------------------------
+// Galloping intersection for heavily skewed set sizes (the small set probes
+// the big one by exponential + binary search instead of merging through it).
+// Shared by the vector levels; set results are unique, so this matches the
+// scalar merge byte-for-byte.
+// ---------------------------------------------------------------------------
+
+// Smallest index in [lo, ng) with g[index] >= v, assuming g sorted.
+size_t GallopLowerBound(const uint32_t* g, size_t ng, size_t lo, uint32_t v) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < ng && g[hi] < v) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, ng);
+  return static_cast<size_t>(std::lower_bound(g + lo, g + hi, v) - g);
+}
+
+// Skew ratio beyond which probing beats block-merging.
+constexpr size_t kGallopRatio = 32;
+
+size_t IntersectGallop(const uint32_t* s, size_t ns, const uint32_t* g,
+                       size_t ng, uint32_t* out) {
+  size_t j = 0, cnt = 0;
+  for (size_t i = 0; i < ns && j < ng; ++i) {
+    j = GallopLowerBound(g, ng, j, s[i]);
+    if (j < ng && g[j] == s[i]) {
+      out[cnt++] = s[i];
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+size_t IntersectSizeGallop(const uint32_t* s, size_t ns, const uint32_t* g,
+                           size_t ng) {
+  size_t j = 0, cnt = 0;
+  for (size_t i = 0; i < ns && j < ng; ++i) {
+    j = GallopLowerBound(g, ng, j, s[i]);
+    if (j < ng && g[j] == s[i]) {
+      ++cnt;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+bool IsSubsetGallop(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb) {
+  size_t j = 0;
+  for (size_t i = 0; i < na; ++i) {
+    j = GallopLowerBound(b, nb, j, a[i]);
+    if (j == nb || b[j] != a[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+#if K2_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Compress-store lookup tables: for an L-bit match mask, the shuffle that
+// packs the matching 32-bit lanes to the front of the register. Built once
+// at load time (the 8-lane table is 256 x 8 permute indices).
+// ---------------------------------------------------------------------------
+
+struct CompressTables {
+  alignas(16) uint8_t lanes4[16][16];   // byte shuffle for _mm_shuffle_epi8
+  alignas(32) uint32_t lanes8[256][8];  // dword permute for vpermd
+
+  CompressTables() {
+    for (int m = 0; m < 16; ++m) {
+      int o = 0;
+      for (int l = 0; l < 4; ++l) {
+        if (m & (1 << l)) {
+          for (int byte = 0; byte < 4; ++byte) {
+            lanes4[m][o * 4 + byte] = static_cast<uint8_t>(l * 4 + byte);
+          }
+          ++o;
+        }
+      }
+      for (; o < 4; ++o) {
+        for (int byte = 0; byte < 4; ++byte) {
+          lanes4[m][o * 4 + byte] = 0x80;  // zero-fill the slack lanes
+        }
+      }
+    }
+    for (int m = 0; m < 256; ++m) {
+      int o = 0;
+      for (int l = 0; l < 8; ++l) {
+        if (m & (1 << l)) lanes8[m][o++] = static_cast<uint32_t>(l);
+      }
+      for (; o < 8; ++o) lanes8[m][o] = 0;
+    }
+  }
+};
+
+const CompressTables kCompress;
+
+// ---------------------------------------------------------------------------
+// CRC-32C combine support: a GF(2) operator matrix that advances a CRC over
+// N zero bytes, zlib crc32_combine style, specialized to the Castagnoli
+// polynomial. Used to stitch the three interleaved hardware-CRC streams
+// back into one running checksum.
+// ---------------------------------------------------------------------------
+
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  int i = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= mat[i];
+    vec >>= 1;
+    ++i;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int i = 0; i < 32; ++i) square[i] = Gf2MatrixTimes(mat, mat[i]);
+}
+
+// Advances finalized CRC `crc` over `len` zero bytes (zlib crc32_combine_
+// with crc2 = 0, Castagnoli polynomial).
+uint32_t CrcShiftZeros(uint32_t crc, size_t len) {
+  if (len == 0) return crc;
+  uint32_t even[32], odd[32];
+  odd[0] = 0x82F63B78u;  // reflected CRC-32C polynomial: operator "x^1"
+  uint32_t row = 1;
+  for (int i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // x^2
+  Gf2MatrixSquare(odd, even);  // x^4
+  do {
+    Gf2MatrixSquare(even, odd);  // x^8, x^32, ... : one byte, then squares
+    if (len & 1) crc = Gf2MatrixTimes(even, crc);
+    len >>= 1;
+    if (len == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len & 1) crc = Gf2MatrixTimes(odd, crc);
+    len >>= 1;
+  } while (len != 0);
+  return crc;
+}
+
+// Bytes per interleaved stream. Long enough to amortize the combine, short
+// enough that WAL-record-sized appends (a few KiB) still hit the fast path.
+constexpr size_t kCrcStride = 1024;
+
+// Operator advancing a finalized CRC by kCrcStride zero bytes; columns are
+// the images of the 32 basis vectors.
+const uint32_t* CrcStrideOperator() {
+  static const auto op = [] {
+    std::array<uint32_t, 32> m{};
+    for (int i = 0; i < 32; ++i) m[i] = CrcShiftZeros(1u << i, kCrcStride);
+    return m;
+  }();
+  return op.data();
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.2 kernels
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2,popcnt"))) size_t EpsScanSse42(
+    const double* xs, const double* ys, const uint32_t* ids, size_t n,
+    double qx, double qy, double eps2, uint32_t* out) {
+  size_t cnt = 0, j = 0;
+  const __m128d vqx = _mm_set1_pd(qx);
+  const __m128d vqy = _mm_set1_pd(qy);
+  const __m128d ve = _mm_set1_pd(eps2);
+  for (; j + 4 <= n; j += 4) {
+    const __m128d dx0 = _mm_sub_pd(_mm_loadu_pd(xs + j), vqx);
+    const __m128d dy0 = _mm_sub_pd(_mm_loadu_pd(ys + j), vqy);
+    const __m128d dx1 = _mm_sub_pd(_mm_loadu_pd(xs + j + 2), vqx);
+    const __m128d dy1 = _mm_sub_pd(_mm_loadu_pd(ys + j + 2), vqy);
+    const __m128d d0 =
+        _mm_add_pd(_mm_mul_pd(dx0, dx0), _mm_mul_pd(dy0, dy0));
+    const __m128d d1 =
+        _mm_add_pd(_mm_mul_pd(dx1, dx1), _mm_mul_pd(dy1, dy1));
+    const int m = _mm_movemask_pd(_mm_cmple_pd(d0, ve)) |
+                  (_mm_movemask_pd(_mm_cmple_pd(d1, ve)) << 2);
+    if (m != 0) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + j));
+      const __m128i shuf = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(kCompress.lanes4[m]));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + cnt),
+                       _mm_shuffle_epi8(v, shuf));
+      cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+    }
+  }
+  for (; j < n; ++j) {
+    const double dx = xs[j] - qx;
+    const double dy = ys[j] - qy;
+    if (dx * dx + dy * dy <= eps2) out[cnt++] = ids[j];
+  }
+  return cnt;
+}
+
+__attribute__((target("sse4.2,popcnt"))) size_t IntersectSse42(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+    uint32_t* out) {
+  if (na * kGallopRatio < nb) return IntersectGallop(a, na, b, nb, out);
+  if (nb * kGallopRatio < na) return IntersectGallop(b, nb, a, na, out);
+  size_t i = 0, j = 0, cnt = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    const int m = _mm_movemask_ps(_mm_castsi128_ps(cmp));
+    if (m != 0) {
+      const __m128i shuf = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(kCompress.lanes4[m]));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + cnt),
+                       _mm_shuffle_epi8(va, shuf));
+      cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+    }
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[cnt++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+__attribute__((target("sse4.2,popcnt"))) size_t IntersectSizeSse42(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  if (na * kGallopRatio < nb) return IntersectSizeGallop(a, na, b, nb);
+  if (nb * kGallopRatio < na) return IntersectSizeGallop(b, nb, a, na);
+  size_t i = 0, j = 0, cnt = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    cnt += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(cmp)))));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++cnt;
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+__attribute__((target("sse4.2,popcnt"))) bool IsSubsetSse42(const uint32_t* a,
+                                                            size_t na,
+                                                            const uint32_t* b,
+                                                            size_t nb) {
+  if (na > nb) return false;
+  if (na * kGallopRatio < nb) return IsSubsetGallop(a, na, b, nb);
+  size_t i = 0, j = 0;
+  unsigned acc = 0;  // match bits of the in-flight a block
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    acc |= static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(cmp)));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) {
+      // The block is fully resolved: later b values exceed bmax >= amax.
+      if (acc != 0xFu) return false;
+      i += 4;
+      acc = 0;
+    }
+    if (bmax <= amax) j += 4;
+  }
+  // Lanes of the in-flight block that already matched (acc) were satisfied
+  // by b values before j; the rest can only match at or after j.
+  for (unsigned l = 0; l < 4 && i + l < na; ++l) {
+    if (acc & (1u << l)) continue;
+    const uint32_t v = a[i + l];
+    while (j < nb && b[j] < v) ++j;
+    if (j == nb || b[j] != v) return false;
+    ++j;
+  }
+  i = std::min(i + 4, na);
+  return IsSubsetScalar(a + i, na - i, b + j, nb - j);
+}
+
+// Raw-state hardware CRC over a short range: `crc` is the inverted running
+// state, returned in the same domain.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHwRaw(const uint8_t* p,
+                                                       size_t n,
+                                                       uint32_t crc) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+    --n;
+  }
+  return c32;
+}
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cSse42(const void* data,
+                                                       size_t n,
+                                                       uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  if (n >= 3 * kCrcStride) {
+    // 3-way stream interleave: the crc32 instruction has 3-cycle latency
+    // but 1-cycle throughput, so three independent streams keep the unit
+    // saturated; the GF(2) stride operator stitches them back together.
+    const uint32_t* op = CrcStrideOperator();
+    do {
+      uint64_t c0 = c;
+      uint64_t c1 = 0xFFFFFFFFu;
+      uint64_t c2 = 0xFFFFFFFFu;
+      for (size_t i = 0; i < kCrcStride; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, 8);
+        std::memcpy(&w1, p + kCrcStride + i, 8);
+        std::memcpy(&w2, p + 2 * kCrcStride + i, 8);
+        c0 = _mm_crc32_u64(c0, w0);
+        c1 = _mm_crc32_u64(c1, w1);
+        c2 = _mm_crc32_u64(c2, w2);
+      }
+      const uint32_t f0 = ~static_cast<uint32_t>(c0);
+      const uint32_t f1 = ~static_cast<uint32_t>(c1);
+      const uint32_t f2 = ~static_cast<uint32_t>(c2);
+      uint32_t combined = Gf2MatrixTimes(op, f0) ^ f1;
+      combined = Gf2MatrixTimes(op, combined) ^ f2;
+      c = ~combined;
+      p += 3 * kCrcStride;
+      n -= 3 * kCrcStride;
+    } while (n >= 3 * kCrcStride);
+  }
+  return ~Crc32cHwRaw(p, n, c);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,popcnt"))) size_t EpsScanAvx2(
+    const double* xs, const double* ys, const uint32_t* ids, size_t n,
+    double qx, double qy, double eps2, uint32_t* out) {
+  size_t cnt = 0, j = 0;
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  const __m256d ve = _mm256_set1_pd(eps2);
+  for (; j + 8 <= n; j += 8) {
+    const __m256d dx0 = _mm256_sub_pd(_mm256_loadu_pd(xs + j), vqx);
+    const __m256d dy0 = _mm256_sub_pd(_mm256_loadu_pd(ys + j), vqy);
+    const __m256d dx1 = _mm256_sub_pd(_mm256_loadu_pd(xs + j + 4), vqx);
+    const __m256d dy1 = _mm256_sub_pd(_mm256_loadu_pd(ys + j + 4), vqy);
+    const __m256d d0 =
+        _mm256_add_pd(_mm256_mul_pd(dx0, dx0), _mm256_mul_pd(dy0, dy0));
+    const __m256d d1 =
+        _mm256_add_pd(_mm256_mul_pd(dx1, dx1), _mm256_mul_pd(dy1, dy1));
+    const int m =
+        _mm256_movemask_pd(_mm256_cmp_pd(d0, ve, _CMP_LE_OQ)) |
+        (_mm256_movemask_pd(_mm256_cmp_pd(d1, ve, _CMP_LE_OQ)) << 4);
+    if (m != 0) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + j));
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompress.lanes8[m]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + cnt),
+                          _mm256_permutevar8x32_epi32(v, perm));
+      cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+    }
+  }
+  for (; j < n; ++j) {
+    const double dx = xs[j] - qx;
+    const double dy = ys[j] - qy;
+    if (dx * dx + dy * dy <= eps2) out[cnt++] = ids[j];
+  }
+  return cnt;
+}
+
+// All-pairs equality mask of va against the 8 rotations of vb; returns the
+// 8-bit movemask on the va side. The rotations come from immediate-operand
+// shuffles only — one 128-bit lane swap plus six alignr — so the hot loop
+// issues no index-vector loads: rotating 8 dwords left by r is a 4r-byte
+// alignr over the (swapped, original) lane pair, and rotating by 4 is the
+// swap itself.
+__attribute__((target("avx2"))) inline unsigned MatchMask8(__m256i va,
+                                                           __m256i vb) {
+  const __m256i sw = _mm256_permute2x128_si256(vb, vb, 0x01);
+  __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(sw, vb, 4)));
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(sw, vb, 8)));
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(sw, vb, 12)));
+  cmp = _mm256_or_si256(cmp, _mm256_cmpeq_epi32(va, sw));
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(vb, sw, 4)));
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(vb, sw, 8)));
+  cmp = _mm256_or_si256(cmp,
+                        _mm256_cmpeq_epi32(va, _mm256_alignr_epi8(vb, sw, 12)));
+  return static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(cmp)));
+}
+
+__attribute__((target("avx2,popcnt"))) size_t IntersectAvx2(const uint32_t* a,
+                                                            size_t na,
+                                                            const uint32_t* b,
+                                                            size_t nb,
+                                                            uint32_t* out) {
+  if (na * kGallopRatio < nb) return IntersectGallop(a, na, b, nb, out);
+  if (nb * kGallopRatio < na) return IntersectGallop(b, nb, a, na, out);
+  size_t i = 0, j = 0, cnt = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const unsigned m = MatchMask8(va, vb);
+    if (m != 0) {
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompress.lanes8[m]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + cnt),
+                          _mm256_permutevar8x32_epi32(va, perm));
+      cnt += static_cast<size_t>(__builtin_popcount(m));
+    }
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[cnt++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2,popcnt"))) size_t IntersectSizeAvx2(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  if (na * kGallopRatio < nb) return IntersectSizeGallop(a, na, b, nb);
+  if (nb * kGallopRatio < na) return IntersectSizeGallop(b, nb, a, na);
+  size_t i = 0, j = 0, cnt = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    cnt += static_cast<size_t>(__builtin_popcount(MatchMask8(va, vb)));
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++cnt;
+      ++i;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2,popcnt"))) bool IsSubsetAvx2(const uint32_t* a,
+                                                         size_t na,
+                                                         const uint32_t* b,
+                                                         size_t nb) {
+  if (na > nb) return false;
+  if (na * kGallopRatio < nb) return IsSubsetGallop(a, na, b, nb);
+  size_t i = 0, j = 0;
+  unsigned acc = 0;  // match bits of the in-flight a block
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    acc |= MatchMask8(va, vb);
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) {
+      // The block is fully resolved: later b values exceed bmax >= amax.
+      if (acc != 0xFFu) return false;
+      i += 8;
+      acc = 0;
+    }
+    if (bmax <= amax) j += 8;
+  }
+  for (unsigned l = 0; l < 8 && i + l < na; ++l) {
+    if (acc & (1u << l)) continue;
+    const uint32_t v = a[i + l];
+    while (j < nb && b[j] < v) ++j;
+    if (j == nb || b[j] != v) return false;
+    ++j;
+  }
+  i = std::min(i + 8, na);
+  return IsSubsetScalar(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // K2_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+constexpr Kernels kScalarKernels = {
+    EpsScanScalar, IntersectScalar, IntersectSizeScalar, IsSubsetScalar,
+    Crc32cScalar,
+};
+
+#if K2_SIMD_X86
+constexpr Kernels kSse42Kernels = {
+    EpsScanSse42, IntersectSse42, IntersectSizeSse42, IsSubsetSse42,
+    Crc32cSse42,
+};
+
+// The crc32 instruction is SSE4.2; AVX2 adds nothing to it, so the AVX2
+// table reuses the SSE4.2 CRC.
+constexpr Kernels kAvx2Kernels = {
+    EpsScanAvx2, IntersectAvx2, IntersectSizeAvx2, IsSubsetAvx2, Crc32cSse42,
+};
+#endif
+
+Level DetectMaxLevel() {
+#if K2_SIMD_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("sse4.2") &&
+      __builtin_cpu_supports("popcnt")) {
+    return Level::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return Level::kSse42;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level ResolveActiveLevel() {
+  const Level max = MaxSupportedLevel();
+  const char* env = std::getenv("K2_SIMD");
+  if (env == nullptr || env[0] == '\0') return max;
+  Level requested;
+  if (std::strcmp(env, "scalar") == 0) {
+    requested = Level::kScalar;
+  } else if (std::strcmp(env, "sse42") == 0) {
+    requested = Level::kSse42;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    requested = Level::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "K2_SIMD=%s not recognized (scalar|sse42|avx2); "
+                 "auto-detecting\n",
+                 env);
+    return max;
+  }
+  if (requested > max) {
+    std::fprintf(stderr, "K2_SIMD=%s unsupported on this CPU; using %s\n", env,
+                 LevelName(max));
+    return max;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse42:
+      return "sse42";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level MaxSupportedLevel() {
+  static const Level max = DetectMaxLevel();
+  return max;
+}
+
+bool Supported(Level level) { return level <= MaxSupportedLevel(); }
+
+Level ActiveLevel() {
+  static const Level active = ResolveActiveLevel();
+  return active;
+}
+
+const Kernels& At(Level level) {
+  K2_CHECK(Supported(level));
+#if K2_SIMD_X86
+  switch (level) {
+    case Level::kScalar:
+      return kScalarKernels;
+    case Level::kSse42:
+      return kSse42Kernels;
+    case Level::kAvx2:
+      return kAvx2Kernels;
+  }
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& Active() {
+  static const Kernels& kernels = At(ActiveLevel());
+  return kernels;
+}
+
+}  // namespace k2::simd

@@ -1,0 +1,17 @@
+// Prints the SIMD dispatch decision for this process on one line, e.g.
+//   simd dispatch: avx2 (cpu max avx2, K2_SIMD unset)
+// CI and the bench snapshot scripts run this so every log records which
+// kernel implementations produced its numbers.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/simd.h"
+
+int main() {
+  const char* env = std::getenv("K2_SIMD");
+  std::printf("simd dispatch: %s (cpu max %s, K2_SIMD %s)\n",
+              k2::simd::LevelName(k2::simd::ActiveLevel()),
+              k2::simd::LevelName(k2::simd::MaxSupportedLevel()),
+              env != nullptr ? env : "unset");
+  return 0;
+}

@@ -349,12 +349,18 @@ Result<bool> SSTable::Get(uint64_t key, LsmValue* value, bool use_bloom) {
     entries = &cb->entries;
   } else {
     if (use_bloom && !bloom_.MayContain(key)) {
-      if (stats_ != nullptr) ++stats_->bloom_negative;
+      if (stats_ != nullptr) {
+        ++stats_->bloom_negative;
+        ChargeTier(&stats_->tier_bloom_skipped);
+      }
       return false;
     }
     K2_ASSIGN_OR_RETURN(entries, LoadBlock(lo));
   }
-  if (stats_ != nullptr) ++stats_->sstables_touched;
+  if (stats_ != nullptr) {
+    ++stats_->sstables_touched;
+    ChargeTier(&stats_->tier_sstables_touched);
+  }
   auto it = std::lower_bound(
       entries->begin(), entries->end(), key,
       [](const Entry& entry, uint64_t k) { return entry.key < k; });
@@ -368,7 +374,10 @@ Result<bool> SSTable::Get(uint64_t key, LsmValue* value, bool use_bloom) {
 Status SSTable::Scan(uint64_t lo, uint64_t hi,
                      const std::function<void(uint64_t, const LsmValue&)>& fn) {
   if (!Overlaps(lo, hi)) return Status::OK();
-  if (stats_ != nullptr) ++stats_->sstables_touched;
+  if (stats_ != nullptr) {
+    ++stats_->sstables_touched;
+    ChargeTier(&stats_->tier_sstables_touched);
+  }
   // First block that can contain lo.
   size_t b = 0, b_hi = index_.size();
   while (b < b_hi) {

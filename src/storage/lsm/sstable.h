@@ -110,6 +110,11 @@ class SSTable {
   /// Monotone creation sequence number: larger = newer data.
   uint64_t seq() const { return seq_; }
   const std::string& path() const { return path_; }
+  /// LSM tier this table lives in (0 = fresh flush, grows with compaction).
+  /// Set by the store right after Open — the file format does not record it;
+  /// the MANIFEST does. Drives the per-tier fan-out counters in IoStats.
+  uint32_t tier() const { return tier_; }
+  void set_tier(uint32_t tier) { tier_ = tier; }
   bool Overlaps(uint64_t lo, uint64_t hi) const {
     return num_entries_ > 0 && lo <= max_key_ && hi >= min_key_;
   }
@@ -172,7 +177,14 @@ class SSTable {
   uint64_t min_key_ = 0;
   uint64_t max_key_ = 0;
   uint64_t seq_ = 0;
+  uint32_t tier_ = 0;
   IoStats* stats_ = nullptr;
+
+  /// Bumps `(*v)[tier_]`, growing the vector to cover this tier.
+  void ChargeTier(std::vector<uint64_t>* v) const {
+    if (v->size() <= tier_) v->resize(tier_ + 1, 0);
+    ++(*v)[tier_];
+  }
 };
 
 }  // namespace k2::lsm

@@ -146,9 +146,10 @@ class LsmReadSnapshot final : public Store {
         timestamps_(std::move(timestamps)),
         num_points_(num_points) {}
 
-  Status AddTable(const std::string& path, uint64_t seq) {
+  Status AddTable(const std::string& path, uint64_t seq, uint32_t tier) {
     K2_ASSIGN_OR_RETURN(std::unique_ptr<SSTable> table,
                         SSTable::Open(path, seq, &io_stats_));
+    table->set_tier(tier);
     tables_.push_back(std::move(table));
     flat_.push_back(tables_.back().get());
     return Status::OK();
@@ -254,6 +255,7 @@ Status LsmStore::Recover() {
     K2_ASSIGN_OR_RETURN(
         std::unique_ptr<SSTable> table,
         SSTable::Open(dir_ + "/" + t.file, t.seq, &io_stats_));
+    table->set_tier(t.tier);
     next_seq_ = std::max(next_seq_, t.seq + 1);
     tiers_[t.tier].push_back(std::move(table));
   }
@@ -518,6 +520,7 @@ Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
   if (!s.ok()) return s;
 
   if (tiers_.empty()) tiers_.emplace_back();
+  table->set_tier(0);  // fresh flushes always enter the newest tier
   tiers_[0].push_back(std::move(table));
   pending_.pop_front();
   RebuildFlatViewLocked();
@@ -606,6 +609,7 @@ Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
     std::vector<std::unique_ptr<SSTable>> graveyard;
     graveyard.swap(tiers_[tier]);
     if (tier + 1 >= tiers_.size()) tiers_.emplace_back();
+    merged->set_tier(static_cast<uint32_t>(tier + 1));
     tiers_[tier + 1].push_back(std::move(merged));
     ++compactions_run_;
     RebuildFlatViewLocked();
@@ -787,7 +791,8 @@ Result<std::unique_ptr<Store>> LsmStore::CreateReadSnapshot() {
   // order; re-reading each table's resident index and bloom is the
   // per-snapshot setup cost, charged to the snapshot's io_stats().
   for (SSTable* table : flat_newest_first_) {
-    K2_RETURN_NOT_OK(snapshot->AddTable(table->path(), table->seq()));
+    K2_RETURN_NOT_OK(
+        snapshot->AddTable(table->path(), table->seq(), table->tier()));
   }
   return std::unique_ptr<Store>(std::move(snapshot));
 }

@@ -32,6 +32,16 @@ struct IoStats {
   uint64_t bloom_negative = 0;   ///< LSM lookups short-circuited by bloom.
   uint64_t sstables_touched = 0; ///< LSM tables consulted.
 
+  /// Per-tier LSM read fan-out: entry [t] counts events against tier-t
+  /// SSTables (tier 0 = fresh flushes; higher tiers = older, compacted
+  /// data). `tier_sstables_touched` splits `sstables_touched` by tier;
+  /// `tier_bloom_skipped` splits `bloom_negative`. Vectors grow lazily to
+  /// the deepest tier observed, so two IoStats with different lengths just
+  /// mean the shorter one never read past its last tier; Delta/Accumulate
+  /// treat the missing entries as zero.
+  std::vector<uint64_t> tier_sstables_touched;
+  std::vector<uint64_t> tier_bloom_skipped;
+
   /// Total rows materialized for the caller (the paper's "points processed").
   uint64_t points_read() const { return scanned_points + point_hits; }
 

@@ -1,6 +1,7 @@
 // Parameterized conformance tests: every storage engine must behave exactly
 // like the in-memory oracle for scans and point reads, and must account IO.
 #include <memory>
+#include <numeric>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 
 #include "gen/synthetic.h"
 #include "storage/file_store.h"
+#include "storage/lsm_store.h"
 #include "storage/store.h"
 #include "tests/test_util.h"
 
@@ -121,6 +123,65 @@ TEST_P(StoreConformanceTest, IoStatsAdvanceOnQueries) {
   ASSERT_TRUE(store->GetPoints(0, ObjectSet::Of({1}), &out).ok());
   EXPECT_EQ(store->io_stats().point_queries, 1u);
   EXPECT_EQ(store->io_stats().point_hits, 1u);
+}
+
+// Per-tier read fan-out accounting: the vector algebra must tolerate stats
+// of different tier depths (a shallow store vs one that compacted deeper).
+TEST(IoStatsTierTest, DeltaAndAccumulateHandleDifferentDepths) {
+  IoStats shallow;  // never read past tier 0
+  shallow.sstables_touched = 3;
+  shallow.tier_sstables_touched = {3};
+  IoStats deep;  // reads reached tier 1
+  deep.sstables_touched = 8;
+  deep.tier_sstables_touched = {5, 3};
+  deep.tier_bloom_skipped = {0, 2};
+
+  const IoStats d = IoStats::Delta(deep, shallow);
+  ASSERT_EQ(d.tier_sstables_touched.size(), 2u);
+  EXPECT_EQ(d.tier_sstables_touched[0], 2u);
+  EXPECT_EQ(d.tier_sstables_touched[1], 3u);
+  ASSERT_EQ(d.tier_bloom_skipped.size(), 2u);
+  EXPECT_EQ(d.tier_bloom_skipped[0], 0u);
+  EXPECT_EQ(d.tier_bloom_skipped[1], 2u);
+
+  IoStats total = shallow;
+  total.Accumulate(deep);
+  EXPECT_EQ(total.sstables_touched, 11u);
+  ASSERT_EQ(total.tier_sstables_touched.size(), 2u);
+  EXPECT_EQ(total.tier_sstables_touched[0], 8u);
+  EXPECT_EQ(total.tier_sstables_touched[1], 3u);
+}
+
+// End-to-end on a real multi-tier LSM store: the per-tier split must tie
+// out exactly with the flat sstables_touched / bloom_negative counters.
+TEST(IoStatsTierTest, LsmReadFanOutSplitsByTier) {
+  LsmStore::Options options;
+  options.memtable_limit = 64;
+  options.tier_fanout = 2;
+  LsmStore store(ScratchDir("lsm_tier_stats"), options);
+  for (Timestamp t = 0; t < 100; ++t) {
+    for (ObjectId o = 0; o < 8; ++o) ASSERT_TRUE(store.Put(t, o, t, o).ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_GT(store.num_tiers(), 1u);  // compaction must have promoted tables
+  ASSERT_GT(store.compactions_run(), 0u);
+
+  store.io_stats().Clear();
+  std::vector<SnapshotPoint> out;
+  for (Timestamp t = 0; t < 100; t += 7) {
+    ASSERT_TRUE(store.GetPoints(t, ObjectSet::Of({0, 5, 7}), &out).ok());
+    // Absent oids exercise the bloom-skip path against every table probed.
+    ASSERT_TRUE(store.GetPoints(t, ObjectSet::Of({1000, 2000}), &out).ok());
+  }
+  const IoStats& stats = store.io_stats();
+  EXPECT_GT(stats.sstables_touched, 0u);
+  EXPECT_LE(stats.tier_sstables_touched.size(), store.num_tiers());
+  EXPECT_EQ(std::accumulate(stats.tier_sstables_touched.begin(),
+                            stats.tier_sstables_touched.end(), uint64_t{0}),
+            stats.sstables_touched);
+  EXPECT_EQ(std::accumulate(stats.tier_bloom_skipped.begin(),
+                            stats.tier_bloom_skipped.end(), uint64_t{0}),
+            stats.bloom_negative);
 }
 
 TEST_P(StoreConformanceTest, BulkLoadReplacesContent) {
