@@ -7,6 +7,7 @@
 
 #include "baselines/sweep.h"
 #include "baselines/trajectory.h"
+#include "cluster/clusterer.h"
 #include "cluster/dbscan.h"
 #include "model/dataset.h"
 
@@ -71,7 +72,7 @@ std::vector<ObjectId> FrameSurvivors(
 Result<std::vector<Convoy>> MineCuts(Store* store, const MiningParams& params,
                                      const CutsOptions& options,
                                      CutsStats* stats) {
-  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params));
   CutsStats local;
   CutsStats* s = stats != nullptr ? stats : &local;
   const int lambda = options.lambda > 0 ? options.lambda : params.k;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "baselines/sweep.h"
+#include "cluster/clusterer.h"
 #include "common/check.h"
 #include "model/dataset.h"
 
@@ -59,7 +60,7 @@ std::vector<Convoy> DcmMergePartitions(
 Result<std::vector<Convoy>> MineDcm(Store* store, const MiningParams& params,
                                     const DcmOptions& options,
                                     DcmStats* stats) {
-  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params));
   DcmStats local;
   DcmStats* s = stats != nullptr ? stats : &local;
 

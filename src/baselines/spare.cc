@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/clusterer.h"
 #include "cluster/dbscan.h"
 
 namespace k2 {
@@ -101,7 +102,7 @@ void Enumerate(const StarContext& ctx, uint32_t root,
 Result<std::vector<Convoy>> MineSpare(Store* store, const MiningParams& params,
                                       const SpareOptions& options,
                                       SpareStats* stats) {
-  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params));
   SpareStats local;
   SpareStats* s = stats != nullptr ? stats : &local;
   const int workers = std::max(1, options.num_workers);

@@ -1,12 +1,13 @@
 #include "baselines/vcoda.h"
 
 #include "baselines/cmc.h"
+#include "cluster/clusterer.h"
 
 namespace k2 {
 
 Result<std::vector<Convoy>> MineVcoda(Store* store, const MiningParams& params,
                                       bool corrected, VcodaStats* stats) {
-  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params));
   const IoStats io_before = store->io_stats();
   VcodaStats local;
   VcodaStats* s = stats != nullptr ? stats : &local;

@@ -1,0 +1,90 @@
+#include "cluster/clusterer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/graph_clusterer.h"
+
+namespace k2 {
+
+Status LockedScanTimestamp(Store* store, Timestamp t,
+                           std::vector<SnapshotPoint>* out,
+                           std::mutex* store_mu) {
+  if (store_mu == nullptr) return store->ScanTimestamp(t, out);
+  std::lock_guard<std::mutex> lock(*store_mu);
+  return store->ScanTimestamp(t, out);
+}
+
+Status LockedGetPoints(Store* store, Timestamp t, const ObjectSet& objects,
+                       std::vector<SnapshotPoint>* out, std::mutex* store_mu) {
+  if (store_mu == nullptr) return store->GetPoints(t, objects, out);
+  std::lock_guard<std::mutex> lock(*store_mu);
+  return store->GetPoints(t, objects, out);
+}
+
+Status GeometricClusterer::ValidateParams(const MiningParams& params) const {
+  if (!(params.eps > 0.0)) {
+    return Status::Invalid(
+        "MiningParams: eps must be > 0 for the geometric (DBSCAN) clusterer, "
+        "got eps=" +
+        std::to_string(params.eps));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ObjectSet>> GeometricClusterer::Cluster(
+    Store* store, Timestamp t, const MiningParams& params,
+    SnapshotScratch* scratch, std::mutex* store_mu) const {
+  K2_RETURN_NOT_OK(LockedScanTimestamp(store, t, &scratch->points, store_mu));
+  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
+}
+
+Result<std::vector<ObjectSet>> GeometricClusterer::ReCluster(
+    Store* store, Timestamp t, const ObjectSet& objects,
+    const MiningParams& params, SnapshotScratch* scratch,
+    std::mutex* store_mu) const {
+  K2_RETURN_NOT_OK(
+      LockedGetPoints(store, t, objects, &scratch->points, store_mu));
+  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
+}
+
+const SnapshotClusterer* DefaultClusterer() {
+  static const GeometricClusterer geometric;
+  static const EpsGraphClusterer epsgraph;
+  static const SnapshotClusterer* chosen = [&]() -> const SnapshotClusterer* {
+    const char* env = std::getenv("K2_CLUSTERER");
+    if (env == nullptr || env[0] == '\0') return &geometric;
+    const std::string name(env);
+    if (name == "geometric") return &geometric;
+    if (name == "epsgraph") return &epsgraph;
+    std::fprintf(stderr,
+                 "K2_CLUSTERER=%s is not a registered clusterer "
+                 "(want geometric|epsgraph)\n",
+                 env);
+    std::abort();
+  }();
+  return chosen;
+}
+
+const SnapshotClusterer* ResolveClusterer(const MiningParams& params) {
+  return params.clusterer != nullptr ? params.clusterer : DefaultClusterer();
+}
+
+Status ValidateMiningParams(const MiningParams& params) {
+  if (params.m < 2) {
+    return Status::Invalid(
+        "MiningParams: m must be >= 2 (a convoy needs at least two objects), "
+        "got m=" +
+        std::to_string(params.m));
+  }
+  if (params.k < 2) {
+    return Status::Invalid(
+        "MiningParams: k must be >= 2 (a convoy needs a multi-tick lifespan), "
+        "got k=" +
+        std::to_string(params.k));
+  }
+  return ResolveClusterer(params)->ValidateParams(params);
+}
+
+}  // namespace k2

@@ -1,0 +1,75 @@
+// Graph-substrate SnapshotClusterer implementations.
+//
+// CoLocationGraphClusterer mines the coordinate-free proximity workload: the
+// store holds presence records (one zeroed point per object incident to a
+// pair at each tick — ProximityLog::PresenceDataset), so every Store engine,
+// read snapshot, WAL, and the miners' IO accounting work unchanged, and the
+// clusterer joins fetched presence back against the log's per-tick CSR
+// adjacency for the edges. Restricting edges to the fetched objects is the
+// graph analogue of reCluster(DB[t]|O) — the degree check over the induced
+// rows is the cheap pruning that replaces grid-cell distance filtering.
+//
+// EpsGraphClusterer is the cross-implementation oracle: it materializes each
+// snapshot's eps-graph from coordinates (GridIndex for large snapshots,
+// brute force below the same threshold DBSCAN uses) and clusters it with the
+// graph core, so its output must be byte-identical to GeometricClusterer on
+// every input — the property the differential suite (and the
+// K2_CLUSTERER=epsgraph CI leg) checks.
+#ifndef K2_CLUSTER_GRAPH_CLUSTERER_H_
+#define K2_CLUSTER_GRAPH_CLUSTERER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/clusterer.h"
+#include "model/proximity.h"
+
+namespace k2 {
+
+/// Clusters per-tick co-location graphs from a ProximityLog. The log is
+/// borrowed and must outlive the clusterer; `eps` in MiningParams is
+/// ignored (proximity is defined by the log, not a radius).
+class CoLocationGraphClusterer final : public SnapshotClusterer {
+ public:
+  explicit CoLocationGraphClusterer(const ProximityLog* log) : log_(log) {}
+
+  std::string name() const override { return "colocation-graph"; }
+  Result<std::vector<ObjectSet>> Cluster(
+      Store* store, Timestamp t, const MiningParams& params,
+      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const override;
+  Result<std::vector<ObjectSet>> ReCluster(
+      Store* store, Timestamp t, const ObjectSet& objects,
+      const MiningParams& params, SnapshotScratch* scratch,
+      std::mutex* store_mu = nullptr) const override;
+
+ private:
+  const ProximityLog* log_;
+};
+
+/// Geometric clustering routed through the graph core: materializes the
+/// snapshot's eps-graph from point coordinates and graph-clusters it.
+/// Byte-identical to GeometricClusterer by construction; exists as the
+/// differential oracle for the graph substrate.
+class EpsGraphClusterer final : public SnapshotClusterer {
+ public:
+  std::string name() const override { return "epsgraph"; }
+  Status ValidateParams(const MiningParams& params) const override;
+  Result<std::vector<ObjectSet>> Cluster(
+      Store* store, Timestamp t, const MiningParams& params,
+      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const override;
+  Result<std::vector<ObjectSet>> ReCluster(
+      Store* store, Timestamp t, const ObjectSet& objects,
+      const MiningParams& params, SnapshotScratch* scratch,
+      std::mutex* store_mu = nullptr) const override;
+};
+
+/// Builds the eps-graph of `points` into scratch->graph (CSR, self
+/// excluded) and returns its clusters. Exposed for the differential tests.
+std::vector<ObjectSet> EpsGraphClusters(std::span<const SnapshotPoint> points,
+                                        double eps, int min_pts,
+                                        SnapshotScratch* scratch);
+
+}  // namespace k2
+
+#endif  // K2_CLUSTER_GRAPH_CLUSTERER_H_

@@ -1,0 +1,74 @@
+#include "cluster/graph_core.h"
+
+#include <algorithm>
+
+namespace k2 {
+
+void ClusterGraphLabelled(size_t n, std::span<const uint32_t> adj_offsets,
+                          std::span<const uint32_t> adj, int min_pts,
+                          GraphClusterScratch* scratch, DbscanLabels* out) {
+  out->label.assign(n, -1);
+  out->num_clusters = 0;
+  if (n == 0 || min_pts <= 0) return;
+
+  scratch->visited.assign(n, 0);
+  std::vector<uint32_t>& seeds = scratch->seeds;
+  auto degree = [&](uint32_t j) { return adj_offsets[j + 1] - adj_offsets[j]; };
+  auto row = [&](uint32_t j) {
+    return adj.subspan(adj_offsets[j], degree(j));
+  };
+
+  // Same traversal as RunDbscan with the neighbourhood N(i) = {i} ∪ adj(i):
+  // ascending outer loop, core iff |N(i)| >= min_pts (i.e. deg + 1), seed
+  // queue expansion where every dequeued node joins the cluster unless an
+  // earlier cluster claimed it first. Self is omitted from the queue — it is
+  // already visited and labelled, so enqueueing it would be a no-op.
+  for (size_t i = 0; i < n; ++i) {
+    if (scratch->visited[i]) continue;
+    scratch->visited[i] = 1;
+    if (degree(static_cast<uint32_t>(i)) + 1 < static_cast<uint32_t>(min_pts)) {
+      continue;  // noise or border
+    }
+    const int32_t cluster = out->num_clusters++;
+    out->label[i] = cluster;
+    const auto r = row(static_cast<uint32_t>(i));
+    seeds.assign(r.begin(), r.end());
+    for (size_t s = 0; s < seeds.size(); ++s) {
+      const uint32_t j = seeds[s];
+      if (out->label[j] < 0) out->label[j] = cluster;
+      if (!scratch->visited[j]) {
+        scratch->visited[j] = 1;
+        if (degree(j) + 1 >= static_cast<uint32_t>(min_pts)) {
+          const auto rj = row(j);
+          seeds.insert(seeds.end(), rj.begin(), rj.end());
+        }
+      }
+    }
+  }
+}
+
+std::vector<ObjectSet> GraphClusters(std::span<const ObjectId> node_oids,
+                                     std::span<const uint32_t> adj_offsets,
+                                     std::span<const uint32_t> adj, int min_pts,
+                                     GraphClusterScratch* scratch) {
+  ClusterGraphLabelled(node_oids.size(), adj_offsets, adj, min_pts, scratch,
+                       &scratch->labels);
+  const DbscanLabels& labels = scratch->labels;
+  const size_t k = static_cast<size_t>(labels.num_clusters);
+  std::vector<std::vector<ObjectId>>& members = scratch->members;
+  if (members.size() < k) members.resize(k);
+  for (size_t c = 0; c < k; ++c) members[c].clear();
+  for (size_t i = 0; i < node_oids.size(); ++i) {
+    if (labels.label[i] >= 0) members[labels.label[i]].push_back(node_oids[i]);
+  }
+  std::vector<ObjectSet> clusters;
+  clusters.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    if (members[c].size() < static_cast<size_t>(min_pts)) continue;
+    clusters.emplace_back(members[c]);
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+}  // namespace k2

@@ -1,0 +1,58 @@
+// Density clustering over an explicit proximity graph: DBSCAN with the
+// eps-neighbourhood replaced by graph adjacency. A node's neighbourhood is
+// itself plus its adjacency row, so a node is core iff degree + 1 >= min_pts
+// — exactly the self-counting minPts convention of cluster/dbscan.h. With
+// the eps-graph of a point snapshot as input this reproduces RunDbscan's
+// labels bit-for-bit (same ascending outer loop, same seed-queue expansion,
+// same first-cluster-wins border assignment), which is what the
+// cross-implementation differential suite asserts.
+#ifndef K2_CLUSTER_GRAPH_CORE_H_
+#define K2_CLUSTER_GRAPH_CORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/object_set.h"
+#include "common/types.h"
+
+namespace k2 {
+
+/// Reusable working state for graph clustering runs (one scratch per
+/// thread). Also owns the CSR adjacency buffers callers build the induced
+/// graph into, so repeated clusterings allocate nothing in steady state.
+struct GraphClusterScratch {
+  // Caller-built CSR adjacency of the snapshot's induced graph: node i's
+  // neighbour indexes (self excluded) are adj[adj_offsets[i] ..
+  // adj_offsets[i+1]).
+  std::vector<uint32_t> adj_offsets;
+  std::vector<uint32_t> adj;
+  // Sorted fetched oids, for oid -> node-index joins while building the
+  // induced adjacency.
+  std::vector<ObjectId> oids;
+  // Expansion state.
+  std::vector<uint8_t> visited;
+  std::vector<uint32_t> seeds;
+  DbscanLabels labels;
+  std::vector<std::vector<ObjectId>> members;
+};
+
+/// Labels the n-node graph held in (adj_offsets, adj); label -1 = noise.
+/// Nodes must be presented in ascending object-id order for border
+/// assignment to match geometric DBSCAN over the same neighbourhoods.
+void ClusterGraphLabelled(size_t n, std::span<const uint32_t> adj_offsets,
+                          std::span<const uint32_t> adj, int min_pts,
+                          GraphClusterScratch* scratch, DbscanLabels* out);
+
+/// Clusters the graph whose node i carries object id node_oids[i] and
+/// returns the (m)-clusters (size >= min_pts) as object-id sets in canonical
+/// lexicographic order — the graph analogue of Dbscan().
+std::vector<ObjectSet> GraphClusters(std::span<const ObjectId> node_oids,
+                                     std::span<const uint32_t> adj_offsets,
+                                     std::span<const uint32_t> adj, int min_pts,
+                                     GraphClusterScratch* scratch);
+
+}  // namespace k2
+
+#endif  // K2_CLUSTER_GRAPH_CORE_H_

@@ -4,20 +4,6 @@ namespace k2 {
 
 namespace {
 
-Status LockedScan(Store* store, Timestamp t, std::vector<SnapshotPoint>* out,
-                  std::mutex* store_mu) {
-  if (store_mu == nullptr) return store->ScanTimestamp(t, out);
-  std::lock_guard<std::mutex> lock(*store_mu);
-  return store->ScanTimestamp(t, out);
-}
-
-Status LockedGet(Store* store, Timestamp t, const ObjectSet& objects,
-                 std::vector<SnapshotPoint>* out, std::mutex* store_mu) {
-  if (store_mu == nullptr) return store->GetPoints(t, objects, out);
-  std::lock_guard<std::mutex> lock(*store_mu);
-  return store->GetPoints(t, objects, out);
-}
-
 SnapshotScratch* ThreadLocalSnapshotScratch() {
   static thread_local SnapshotScratch scratch;
   return &scratch;
@@ -29,8 +15,8 @@ Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
                                                const MiningParams& params,
                                                SnapshotScratch* scratch,
                                                std::mutex* store_mu) {
-  K2_RETURN_NOT_OK(LockedScan(store, t, &scratch->points, store_mu));
-  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
+  return ResolveClusterer(params)->Cluster(store, t, params, scratch,
+                                           store_mu);
 }
 
 Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
@@ -43,8 +29,8 @@ Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
                                          const MiningParams& params,
                                          SnapshotScratch* scratch,
                                          std::mutex* store_mu) {
-  K2_RETURN_NOT_OK(LockedGet(store, t, objects, &scratch->points, store_mu));
-  return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
+  return ResolveClusterer(params)->ReCluster(store, t, objects, params,
+                                             scratch, store_mu);
 }
 
 Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,

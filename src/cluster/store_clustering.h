@@ -1,13 +1,16 @@
 // Clustering primitives expressed against the Store interface — the two data
 // access patterns of k/2-hop (Sec. 5): full-snapshot clustering at benchmark
-// points and restricted re-clustering of candidate objects elsewhere.
+// points and restricted re-clustering of candidate objects elsewhere. Both
+// dispatch through the SnapshotClusterer carried by MiningParams (defaulting
+// to the geometric DBSCAN substrate), so every miner calling these functions
+// works on any clustering substrate unchanged.
 #ifndef K2_CLUSTER_STORE_CLUSTERING_H_
 #define K2_CLUSTER_STORE_CLUSTERING_H_
 
 #include <mutex>
 #include <vector>
 
-#include "cluster/dbscan.h"
+#include "cluster/clusterer.h"
 #include "common/object_set.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -15,14 +18,8 @@
 
 namespace k2 {
 
-/// Reusable per-thread state for store-backed clustering: the fetched-points
-/// buffer plus the DBSCAN scratch. One SnapshotScratch serves one thread.
-struct SnapshotScratch {
-  std::vector<SnapshotPoint> points;
-  DbscanScratch dbscan;
-};
-
-/// Scans the full snapshot at `t` and returns its (m,eps)-clusters.
+/// Scans the full snapshot at `t` and returns its clusters under
+/// `params` (for the default geometric clusterer: the (m,eps)-clusters).
 ///
 /// The scratch overloads reuse `scratch` across calls (allocation-free in
 /// steady state). Store implementations are not thread-safe: when several

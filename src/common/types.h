@@ -89,6 +89,8 @@ struct Rect {
   }
 };
 
+class SnapshotClusterer;
+
 /// User parameters of the FC convoy mining problem (Def. 8): minimum convoy
 /// size `m`, minimum lifespan length `k` (in ticks), and the DBSCAN distance
 /// threshold `eps` (metres).
@@ -96,8 +98,18 @@ struct MiningParams {
   int m = 2;
   int k = 2;
   double eps = 1.0;
+  /// Snapshot-clustering implementation the miners call through (borrowed,
+  /// not owned; must outlive every mining run using these params). nullptr
+  /// selects the default geometric (DBSCAN) clusterer — see
+  /// cluster/clusterer.h. `eps` is interpreted by the clusterer: the
+  /// geometric implementations read it as the DBSCAN radius, the
+  /// co-location graph clusterer ignores it entirely.
+  const SnapshotClusterer* clusterer = nullptr;
 
-  /// True when the parameters describe a well-posed mining problem.
+  /// True when the parameters describe a well-posed mining problem for the
+  /// default geometric clusterer. Prefer ValidateMiningParams()
+  /// (cluster/clusterer.h), which is clusterer-aware and returns named
+  /// errors.
   bool Valid() const { return m >= 2 && k >= 2 && eps > 0.0; }
 
   std::string DebugString() const;

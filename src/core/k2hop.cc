@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace k2 {
@@ -279,6 +280,9 @@ Status MineHopWindows(Store* store, const MiningParams& params,
                       HopWindowPipelineStats* stats, ThreadPool* pool,
                       std::mutex* store_mu,
                       std::vector<SnapshotScratch>* scratches) {
+  // Entry-point validation (ValidateMiningParams) happened in the caller;
+  // shard drivers reaching this directly must uphold the same contract.
+  K2_DCHECK(params.m >= 2 && params.k >= 2);
   HopWindowPipelineStats local_stats;
   HopWindowPipelineStats* s = stats != nullptr ? stats : &local_stats;
   std::vector<SnapshotScratch> local_scratches;
@@ -360,7 +364,7 @@ Status MineHopWindows(Store* store, const MiningParams& params,
 Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
                                       const K2HopOptions& options,
                                       K2HopStats* stats) {
-  if (!params.Valid()) return Status::Invalid(params.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params));
   K2HopStats local;
   K2HopStats* s = stats != nullptr ? stats : &local;
   const IoStats io_before = store->io_stats();

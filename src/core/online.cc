@@ -28,8 +28,8 @@ OnlineK2HopMiner::OnlineK2HopMiner(Store* store, const MiningParams& params,
       options_(std::move(options)),
       hop_(std::max(1, params.k / 2)),
       merger_(params.m) {
-  if (!params_.Valid()) {
-    status_ = Status::Invalid("invalid mining params: " + params_.DebugString());
+  if (Status valid = ValidateMiningParams(params_); !valid.ok()) {
+    status_ = std::move(valid);
   } else if (store_->num_points() != 0) {
     status_ = Status::Invalid(
         "OnlineK2HopMiner requires an empty store; route all data through "

@@ -53,7 +53,7 @@ PartitionedK2HopMiner::PartitionedK2HopMiner(Store* store,
     : store_(store), params_(params), options_(options) {}
 
 Result<std::vector<Convoy>> PartitionedK2HopMiner::Mine() {
-  if (!params_.Valid()) return Status::Invalid(params_.DebugString());
+  K2_RETURN_NOT_OK(ValidateMiningParams(params_));
   stats_ = PartitionedK2HopStats();
   const IoStats parent_before = store_->io_stats();
   stats_.total_points = store_->num_points();

@@ -1,0 +1,50 @@
+#include "gen/proximity_gen.h"
+
+#include "common/rng.h"
+
+namespace k2 {
+
+ProximityLog GeneratePlantedProximity(const PlantedProximitySpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<PairRecord> records;
+
+  // Assign ids: group members first, then noise.
+  ObjectId next_id = 0;
+  std::vector<std::pair<ObjectId, ObjectId>> group_ids;  // [first, last]
+  group_ids.reserve(spec.groups.size());
+  for (const PlantedProximityGroup& g : spec.groups) {
+    group_ids.emplace_back(next_id, next_id + g.size - 1);
+    next_id += static_cast<ObjectId>(g.size);
+  }
+  const ObjectId total =
+      next_id + static_cast<ObjectId>(spec.num_noise_objects);
+
+  std::vector<ObjectId> pool;  // objects not in an active clique this tick
+  for (Timestamp t = 0; t < spec.num_ticks; ++t) {
+    pool.clear();
+    for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+      const PlantedProximityGroup& g = spec.groups[gi];
+      const auto [lo, hi] = group_ids[gi];
+      if (t >= g.start && t <= g.end) {
+        for (ObjectId a = lo; a <= hi; ++a) {
+          for (ObjectId b = a + 1; b <= hi; ++b) {
+            records.push_back(PairRecord{t, a, b});
+          }
+        }
+      } else {
+        for (ObjectId a = lo; a <= hi; ++a) pool.push_back(a);
+      }
+    }
+    for (ObjectId a = next_id; a < total; ++a) pool.push_back(a);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        if (rng.Bernoulli(spec.noise_pair_prob)) {
+          records.push_back(PairRecord{t, pool[i], pool[j]});
+        }
+      }
+    }
+  }
+  return ProximityLog::FromRecords(std::move(records));
+}
+
+}  // namespace k2

@@ -1,0 +1,42 @@
+// Seeded proximity-log generator with planted convoys: the coordinate-free
+// analogue of GeneratePlantedConvoys. Ground truth is exact — a planted
+// group is a clique at every tick of its interval, so the miners must
+// recover it verbatim — while noise pairs are sparse random co-locations
+// among the non-grouped objects.
+#ifndef K2_GEN_PROXIMITY_GEN_H_
+#define K2_GEN_PROXIMITY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "model/proximity.h"
+
+namespace k2 {
+
+struct PlantedProximityGroup {
+  int size = 3;         // objects in the group (pairwise co-located)
+  Timestamp start = 0;  // first tick the clique holds
+  Timestamp end = 0;    // last tick (inclusive)
+};
+
+struct PlantedProximitySpec {
+  int num_noise_objects = 20;
+  int num_ticks = 50;
+  // Per-tick probability that any given unordered pair of currently
+  // non-grouped objects registers a spurious co-location. Keep it low
+  // enough that noise clusters of size >= m almost never persist k ticks.
+  double noise_pair_prob = 0.01;
+  std::vector<PlantedProximityGroup> groups;
+  uint64_t seed = 1;
+};
+
+/// Planted-clique proximity log. Object ids mirror GeneratePlantedConvoys:
+/// group members first (group 0 gets ids 0..size-1, etc.), then noise
+/// objects. During [start, end] a group emits all its member pairs each
+/// tick; outside the interval its members fall back into the noise pool.
+ProximityLog GeneratePlantedProximity(const PlantedProximitySpec& spec);
+
+}  // namespace k2
+
+#endif  // K2_GEN_PROXIMITY_GEN_H_

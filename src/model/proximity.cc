@@ -1,0 +1,117 @@
+#include "model/proximity.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace k2 {
+
+size_t SnapshotEdges::IndexOf(ObjectId oid) const {
+  auto it = std::lower_bound(nodes.begin(), nodes.end(), oid);
+  if (it == nodes.end() || *it != oid) return npos;
+  return static_cast<size_t>(it - nodes.begin());
+}
+
+ProximityLog ProximityLog::FromRecords(std::vector<PairRecord> records) {
+  for (PairRecord& r : records) {
+    if (r.a > r.b) std::swap(r.a, r.b);
+  }
+  std::erase_if(records, [](const PairRecord& r) { return r.a == r.b; });
+  std::sort(records.begin(), records.end(), PairKeyLess);
+  records.erase(std::unique(records.begin(), records.end()), records.end());
+
+  ProximityLog log;
+  log.num_pairs_ = records.size();
+  if (records.empty()) return log;
+  log.time_range_ = {records.front().t, records.back().t};
+
+  // Directed edge list: each canonical pair contributes both directions, so
+  // sorting by (t, src, dst) groups each node's neighbour row contiguously
+  // and already ascending.
+  struct Directed {
+    Timestamp t;
+    ObjectId src;
+    ObjectId dst;
+  };
+  std::vector<Directed> edges;
+  edges.reserve(records.size() * 2);
+  for (const PairRecord& r : records) {
+    edges.push_back({r.t, r.a, r.b});
+    edges.push_back({r.t, r.b, r.a});
+    log.object_ids_.insert(r.a);
+    log.object_ids_.insert(r.b);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Directed& x, const Directed& y) {
+              if (x.t != y.t) return x.t < y.t;
+              if (x.src != y.src) return x.src < y.src;
+              return x.dst < y.dst;
+            });
+
+  log.neighbors_.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Directed& e = edges[i];
+    const bool new_tick = log.timestamps_.empty() || log.timestamps_.back() != e.t;
+    if (new_tick) {
+      log.timestamps_.push_back(e.t);
+      log.node_extents_.push_back(log.nodes_.size());
+    }
+    if (new_tick || log.nodes_.back() != e.src) {
+      log.nodes_.push_back(e.src);
+      log.nbr_offsets_.push_back(log.neighbors_.size());
+    }
+    log.neighbors_.push_back(e.dst);
+  }
+  log.node_extents_.push_back(log.nodes_.size());
+  log.nbr_offsets_.push_back(log.neighbors_.size());
+  return log;
+}
+
+SnapshotEdges ProximityLog::EdgesAt(Timestamp t) const {
+  auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
+  if (it == timestamps_.end() || *it != t) return SnapshotEdges{};
+  const size_t i = static_cast<size_t>(it - timestamps_.begin());
+  const size_t lo = node_extents_[i];
+  const size_t hi = node_extents_[i + 1];
+  SnapshotEdges view;
+  view.nodes = std::span<const ObjectId>(nodes_).subspan(lo, hi - lo);
+  view.offsets = std::span<const size_t>(nbr_offsets_).subspan(lo, hi - lo + 1);
+  view.neighbors = std::span<const ObjectId>(neighbors_)
+                       .subspan(nbr_offsets_[lo], nbr_offsets_[hi] - nbr_offsets_[lo]);
+  return view;
+}
+
+std::vector<PairRecord> ProximityLog::ToRecords() const {
+  std::vector<PairRecord> out;
+  out.reserve(num_pairs_);
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    for (size_t j = node_extents_[i]; j < node_extents_[i + 1]; ++j) {
+      const ObjectId src = nodes_[j];
+      for (size_t e = nbr_offsets_[j]; e < nbr_offsets_[j + 1]; ++e) {
+        if (src < neighbors_[e]) {
+          out.push_back(PairRecord{timestamps_[i], src, neighbors_[e]});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dataset ProximityLog::PresenceDataset() const {
+  DatasetBuilder builder;
+  builder.Reserve(nodes_.size());
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    for (size_t j = node_extents_[i]; j < node_extents_[i + 1]; ++j) {
+      builder.Add(timestamps_[i], nodes_[j], 0.0, 0.0);
+    }
+  }
+  return builder.Build();
+}
+
+std::string ProximityLog::DebugString() const {
+  std::ostringstream os;
+  os << "ProximityLog{pairs=" << num_pairs_ << " objects=" << num_objects()
+     << " ticks=[" << time_range_.start << "," << time_range_.end << "]}";
+  return os.str();
+}
+
+}  // namespace k2

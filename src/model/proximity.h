@@ -1,0 +1,124 @@
+// Coordinate-free movement data: per-tick co-location (proximity) pairs, the
+// input of the Namiot-style Bluetooth/Wi-Fi convoy workload. Where Dataset
+// stores `<t, oid, x, y>` rows, ProximityLog stores `<t, oid_a, oid_b>` pairs
+// ("a and b were within radio range at tick t") and serves them as per-tick
+// adjacency snapshots (SnapshotEdges) — the graph analogue of the
+// SnapshotPoint span a Dataset snapshot yields.
+#ifndef K2_MODEL_PROXIMITY_H_
+#define K2_MODEL_PROXIMITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "model/dataset.h"
+
+namespace k2 {
+
+/// One co-location observation: objects `a` and `b` were in proximity at
+/// tick `t`. Canonical form has a < b; FromRecords canonicalizes.
+struct PairRecord {
+  Timestamp t = 0;
+  ObjectId a = 0;
+  ObjectId b = 0;
+
+  friend bool operator==(const PairRecord& x, const PairRecord& y) {
+    return x.t == y.t && x.a == y.a && x.b == y.b;
+  }
+};
+
+/// Ordering by composite key (t, a, b): the clustered-index order.
+inline bool PairKeyLess(const PairRecord& x, const PairRecord& y) {
+  if (x.t != y.t) return x.t < y.t;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// One tick's proximity graph as a CSR view into a ProximityLog: `nodes` are
+/// the oids incident to at least one pair at the tick (ascending), and row i
+/// of the adjacency lists the neighbours of nodes[i] (ascending, symmetric,
+/// no self-loops). Views are invalidated by destroying the owning log.
+struct SnapshotEdges {
+  std::span<const ObjectId> nodes;
+  // nodes.size() + 1 monotone offsets into the log's global neighbour array;
+  // use Row() rather than indexing neighbours directly.
+  std::span<const size_t> offsets;
+  std::span<const ObjectId> neighbors;
+
+  size_t num_nodes() const { return nodes.size(); }
+  /// Undirected edge count (each pair stored in both directions).
+  size_t num_edges() const { return neighbors.size() / 2; }
+  bool empty() const { return nodes.empty(); }
+
+  /// Neighbours of nodes[i], ascending.
+  std::span<const ObjectId> Row(size_t i) const {
+    const size_t base = offsets.front();
+    return neighbors.subspan(offsets[i] - base, offsets[i + 1] - offsets[i]);
+  }
+
+  /// Index of `oid` in `nodes`, or npos when absent. Binary search.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(ObjectId oid) const;
+};
+
+/// Immutable time-ordered co-location log with a per-timestamp extent
+/// directory, so one tick's proximity graph is an O(1) CSR slice.
+class ProximityLog {
+ public:
+  ProximityLog() = default;
+
+  /// Builds a log from raw observations in any order. Pairs are
+  /// canonicalized (a > b swapped so a < b), self-loops (a == b) are
+  /// dropped, and duplicate (t, a, b) keys are deduplicated.
+  static ProximityLog FromRecords(std::vector<PairRecord> records);
+
+  bool empty() const { return num_pairs_ == 0; }
+  /// Distinct canonical (t, a, b) pairs in the log.
+  uint64_t num_pairs() const { return num_pairs_; }
+  /// Distinct object ids across all ticks.
+  size_t num_objects() const { return object_ids_.size(); }
+  TimeRange time_range() const { return time_range_; }
+  /// Distinct timestamps that carry at least one pair, ascending.
+  const std::vector<Timestamp>& timestamps() const { return timestamps_; }
+
+  /// The proximity graph at tick `t`; an empty view when the tick carries
+  /// no pairs.
+  SnapshotEdges EdgesAt(Timestamp t) const;
+
+  /// The log as canonical records in (t, a, b) order (round-trips through
+  /// FromRecords; the serialization shape of io/proximity_io).
+  std::vector<PairRecord> ToRecords() const;
+
+  /// Presence dataset: one `(t, oid, 0, 0)` point per object incident to at
+  /// least one pair at tick t. This is what flows through the (unchanged)
+  /// Store engines so the miners' fetch paths, IO accounting, and WAL-backed
+  /// durability all work on proximity data; the CoLocationGraphClusterer
+  /// joins fetched presence back against EdgesAt(t) for the edges.
+  Dataset PresenceDataset() const;
+
+  /// One-line summary: pairs, objects, tick range.
+  std::string DebugString() const;
+
+ private:
+  // CSR-of-CSR layout. Per tick i in [0, timestamps_.size()):
+  //   nodes_[node_extents_[i] .. node_extents_[i+1])   sorted incident oids
+  // and per global node index j, its neighbour row is
+  //   neighbors_[nbr_offsets_[j] .. nbr_offsets_[j+1]).
+  std::vector<Timestamp> timestamps_;
+  std::vector<size_t> node_extents_;  // timestamps_.size() + 1 entries
+  std::vector<ObjectId> nodes_;
+  std::vector<size_t> nbr_offsets_;  // nodes_.size() + 1 entries
+  std::vector<ObjectId> neighbors_;
+  std::unordered_set<ObjectId> object_ids_;
+  TimeRange time_range_{0, -1};
+  uint64_t num_pairs_ = 0;
+};
+
+}  // namespace k2
+
+#endif  // K2_MODEL_PROXIMITY_H_

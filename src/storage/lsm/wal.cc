@@ -23,6 +23,7 @@ Status WalWriter::AddRecord(const void* payload, size_t n) {
   buffer_.append(reinterpret_cast<const char*>(&crc), 4);
   buffer_.append(reinterpret_cast<const char*>(&len), 4);
   buffer_.append(static_cast<const char*>(payload), n);
+  bytes_written_ += kFrameHeader + n;
   if (buffer_.size() >= kFlushThreshold) return FlushBuffer();
   return Status::OK();
 }

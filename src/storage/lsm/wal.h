@@ -24,6 +24,15 @@
 
 namespace k2::lsm {
 
+/// Policy knobs of the WAL write path.
+struct WalOptions {
+  /// Soft size cap of one WAL segment file, in framed bytes. 0 disables
+  /// size-based rotation (segments then rotate only with the memtable).
+  /// The cap is checked by the store after each append — a segment may
+  /// exceed it by one batch, never more.
+  size_t segment_bytes = 0;
+};
+
 class WalWriter {
  public:
   static Result<std::unique_ptr<WalWriter>> Create(Env* env,
@@ -31,6 +40,10 @@ class WalWriter {
 
   /// Frames `payload` and queues it; durable only after the next Sync().
   Status AddRecord(const void* payload, size_t n);
+
+  /// Framed bytes accepted so far (buffered + flushed) — the size this
+  /// segment file will have once drained. Drives size-based rotation.
+  size_t bytes_written() const { return bytes_written_; }
 
   /// Flushes queued frames to the Env and fdatasyncs the file: every record
   /// added so far survives a crash once this returns OK.
@@ -53,6 +66,7 @@ class WalWriter {
 
   std::unique_ptr<WritableFile> file_;
   std::string buffer_;
+  size_t bytes_written_ = 0;
 };
 
 /// Replays the longest valid record prefix of the WAL at `path`, invoking

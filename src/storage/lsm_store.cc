@@ -432,8 +432,33 @@ Status LsmStore::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
 }
 
 Status LsmStore::MaybeRotateLocked(std::unique_lock<std::mutex>& lock) {
-  if (memtable_->size() < options_.memtable_limit) return Status::OK();
-  return RotateMemtableLocked(lock);
+  if (memtable_->size() >= options_.memtable_limit) {
+    return RotateMemtableLocked(lock);
+  }
+  if (options_.wal.segment_bytes > 0 && wal_ != nullptr &&
+      wal_->bytes_written() >= options_.wal.segment_bytes) {
+    return RotateWalSegmentLocked();
+  }
+  return Status::OK();
+}
+
+Status LsmStore::RotateWalSegmentLocked() {
+  // Seal the active segment and chain a fresh one onto the same memtable.
+  // The sealed file stays in active_wal_seqs_ — its records live only in
+  // the memtable — and the whole chain is deleted when that memtable's
+  // flush commits, exactly like the single-segment case.
+  Status s = wal_->Close();
+  if (!s.ok()) {
+    write_error_ = s;
+    return s;
+  }
+  K2_RETURN_NOT_OK(OpenActiveWalLocked(/*fresh_wal_set=*/false));
+  // Commit the new segment to the MANIFEST before any record can land in
+  // it: a crash between open and commit leaves only an empty orphan file,
+  // which recovery deletes.
+  s = WriteManifestLocked();
+  if (!s.ok()) write_error_ = s;
+  return s;
 }
 
 Status LsmStore::RotateMemtableLocked(std::unique_lock<std::mutex>& lock) {
@@ -821,6 +846,11 @@ size_t LsmStore::num_sstables() const {
 size_t LsmStore::num_tiers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tiers_.size();
+}
+
+size_t LsmStore::active_wal_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_wal_seqs_.size();
 }
 
 size_t LsmStore::memtable_entries() const {

@@ -59,6 +59,12 @@ struct LsmStoreOptions {
   /// Ingest backpressure: a write that needs to rotate blocks while this
   /// many immutable memtables are already queued for flush.
   size_t max_pending_memtables = 2;
+  /// WAL policy. wal.segment_bytes > 0 enables size-based segment rotation:
+  /// the active segment is sealed and a new one chained onto the same
+  /// memtable once it passes the cap, bounding single-file size (and torn
+  /// tails to the last segment) independently of memtable_limit. With the
+  /// default 0, segments rotate only with the memtable.
+  lsm::WalOptions wal;
 };
 
 class LsmStore final : public Store {
@@ -109,6 +115,9 @@ class LsmStore final : public Store {
 
   size_t num_sstables() const;
   size_t num_tiers() const;
+  /// WAL segments feeding the active memtable (>= 1 once writable; grows
+  /// with size-based rotation, resets when the memtable rotates).
+  size_t active_wal_segments() const;
   /// Entries in the active (mutable) memtable.
   size_t memtable_entries() const;
   uint64_t compactions_run() const;
@@ -138,6 +147,7 @@ class LsmStore final : public Store {
   void ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y);
   Status MaybeRotateLocked(std::unique_lock<std::mutex>& lock);
   Status RotateMemtableLocked(std::unique_lock<std::mutex>& lock);
+  Status RotateWalSegmentLocked();
   /// Blocks until queued work is done (background) or runs it inline (sync
   /// mode); returns the sticky write error if one surfaced.
   Status DrainLocked(std::unique_lock<std::mutex>& lock);

@@ -277,6 +277,63 @@ TEST(LsmStoreTest, TimestampsStaySortedUnderOutOfOrderPuts) {
   EXPECT_EQ(cref.timestamps().size(), 5u);
 }
 
+TEST(LsmStoreTest, WalSegmentRotationBySizeAndMultiSegmentReplay) {
+  const std::string dir = ScratchDir("lsm_wal_rotate");
+  LsmStore::Options options;
+  options.memtable_limit = 1 << 20;  // never rotate the memtable
+  options.background_compaction = false;
+  options.wal.segment_bytes = 256;  // a handful of ticks per segment
+  {
+    LsmStore store(dir, options);
+    ASSERT_TRUE(store.init_status().ok());
+    EXPECT_EQ(store.active_wal_segments(), 1u);
+    for (Timestamp t = 0; t < 40; ++t) {
+      std::vector<SnapshotPoint> points;
+      for (ObjectId o = 0; o < 4; ++o) {
+        points.push_back(SnapshotPoint{o, double(t), double(o)});
+      }
+      ASSERT_TRUE(store.Append(t, points).ok());
+    }
+    // The cap is far below 40 ticks of frames, so the active memtable must
+    // now be fed by a chain of rotated segments.
+    EXPECT_GT(store.active_wal_segments(), 1u);
+    EXPECT_EQ(store.num_sstables(), 0u);  // all 160 rows live in WAL only
+    // Destroyed without Flush: recovery must replay the whole chain.
+  }
+  for (int reopen = 0; reopen < 2; ++reopen) {
+    // Second reopen proves orphan deletion spared the live rotated
+    // segments the first recovery re-adopted.
+    LsmStore store(dir, options);
+    ASSERT_TRUE(store.init_status().ok()) << store.init_status().ToString();
+    EXPECT_EQ(store.num_points(), 160u) << "reopen " << reopen;
+    std::vector<SnapshotPoint> out;
+    for (Timestamp t = 0; t < 40; ++t) {
+      ASSERT_TRUE(store.ScanTimestamp(t, &out).ok());
+      ASSERT_EQ(out.size(), 4u) << "tick " << t << " reopen " << reopen;
+      EXPECT_DOUBLE_EQ(out[0].x, double(t));
+    }
+  }
+}
+
+TEST(LsmStoreTest, WalSegmentChainResetsWhenMemtableRotates) {
+  LsmStore::Options options;
+  options.memtable_limit = 1 << 20;
+  options.background_compaction = false;
+  options.wal.segment_bytes = 128;
+  LsmStore store(ScratchDir("lsm_wal_reset"), options);
+  for (Timestamp t = 0; t < 20; ++t) {
+    ASSERT_TRUE(store.Put(t, 0, t, 0).ok());
+  }
+  EXPECT_GT(store.active_wal_segments(), 1u);
+  // A memtable rotation seals the whole chain with it; the fresh memtable
+  // starts over on a single new segment.
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_EQ(store.active_wal_segments(), 1u);
+  std::vector<SnapshotPoint> out;
+  ASSERT_TRUE(store.ScanTimestamp(7, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
 TEST(LsmStoreTest, BloomAblationStillCorrect) {
   LsmStore::Options options;
   options.use_bloom = false;
