@@ -191,7 +191,10 @@ int main(int argc, char** argv) {
 
   // --- throughput ---------------------------------------------------------
   const size_t rounds = 200;
-  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  // Fixed reader count: it is part of the JSON record key (serve-<src>@rN),
+  // and keys must be machine-independent for bench_compare.py to match
+  // baseline rows across hosts (hardware_concurrency is not).
+  const int mt_readers = 4;
   TablePrinter table({"source", "convoys", "fp_points", "build_s", "by_object",
                       "by_window", "by_region", "topk", "conjunction",
                       "mt_mixed"});
@@ -242,15 +245,16 @@ int main(int argc, char** argv) {
           return sink;
         });
 
-    // Concurrent mixed load: `hw` workers, each pinning the snapshot once
-    // and cycling through the whole mix.
+    // Concurrent mixed load: `mt_readers` workers, each pinning the
+    // snapshot once and cycling through the whole mix.
     double q_mt = 0.0;
+    double mt_seconds = 0.0;
     {
       const ConvoyCatalog* catalog = src.catalog;
-      ThreadPool pool(hw);
+      ThreadPool pool(mt_readers);
       std::atomic<uint64_t> total{0};
       Stopwatch sw;
-      pool.ParallelFor(static_cast<size_t>(hw), [&](size_t) {
+      pool.ParallelFor(static_cast<size_t>(mt_readers), [&](size_t) {
         ConvoyQueryEngine engine(catalog);
         const auto pinned = engine.Pin();
         std::vector<ConvoyId> local_ids;
@@ -267,8 +271,8 @@ int main(int argc, char** argv) {
         }
         total.fetch_add(done, std::memory_order_relaxed);
       });
-      q_mt = static_cast<double>(total.load()) /
-             std::max(sw.ElapsedSeconds(), 1e-9);
+      mt_seconds = sw.ElapsedSeconds();
+      q_mt = static_cast<double>(total.load()) / std::max(mt_seconds, 1e-9);
     }
 
     table.AddRow({src.name, std::to_string(snap.size()),
@@ -279,27 +283,38 @@ int main(int argc, char** argv) {
                   Fmt(q_topk / 1e3, 0) + "k/s", Fmt(q_conj / 1e3, 0) + "k/s",
                   Fmt(q_mt / 1e3, 0) + "k/s"});
 
-    JsonFields extra;
-    extra.Str("source", src.name)
+    // Two records per source, reader count in the key: "@r1" for the
+    // single-reader sweeps and "@r4" for the concurrent mixed load. Without
+    // the suffix, rows at different reader counts collide under
+    // bench_compare.py's (bench, miner, store, params) keying.
+    JsonFields single;
+    single.Str("source", src.name)
         .Int("catalog_convoys", snap.size())
         .Int("footprint_points", snap.footprint_points())
-        .Int("mt_readers", static_cast<uint64_t>(hw))
+        .Int("readers", 1)
         .Num("qps_by_object", q_object)
         .Num("qps_by_window", q_window)
         .Num("qps_by_region", q_region)
         .Num("qps_topk", q_topk)
-        .Num("qps_conjunction", q_conj)
-        .Num("qps_mt_mixed", q_mt);
+        .Num("qps_conjunction", q_conj);
     // Each record carries ITS source's store and that store's IO (mining
     // plus footprint ingest), so per-source cost stays attributable.
-    RecordMiningRun("serve-" + src.name, *src.store, params,
+    RecordMiningRun("serve-" + src.name + "@r1", *src.store, params,
                     src.build_seconds, snap.size(), src.store->io_stats(),
-                    extra);
+                    single);
+    JsonFields multi;
+    multi.Str("source", src.name)
+        .Int("catalog_convoys", snap.size())
+        .Int("readers", static_cast<uint64_t>(mt_readers))
+        .Num("qps_mt_mixed", q_mt);
+    RecordMiningRun("serve-" + src.name + "@r" + std::to_string(mt_readers),
+                    *src.store, params, mt_seconds, snap.size(),
+                    src.store->io_stats(), multi);
   }
   table.Print();
   std::cout << "\nqueries/sec per type against the published snapshot "
                "(by_object/by_window/by_region/topk/conjunction single "
-               "reader, mt_mixed = " << hw
+               "reader, mt_mixed = " << mt_readers
             << " concurrent readers on pinned snapshots); build_s for "
                "'online' includes mining the whole stream.\n";
   return 0;

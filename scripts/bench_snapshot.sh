@@ -19,7 +19,8 @@ OUT=${1:-BENCH_k2hop.json}
 SCALE=${K2_BENCH_SCALE:-1}
 
 for bench in bench_fig8i_phases bench_fig8l_scalability bench_streaming \
-             bench_partitioned bench_serving bench_proximity bench_kernels; do
+             bench_partitioned bench_serving bench_serving_net \
+             bench_proximity bench_kernels; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not found; build with -DK2_BUILD_BENCH=ON" >&2
     exit 1
@@ -39,10 +40,11 @@ K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_fig8l_scalability" --json "$tmp/fi
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_streaming" --json "$tmp/streaming.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_partitioned" --json "$tmp/partitioned.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_serving" --json "$tmp/serving.json"
+K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_serving_net" --json "$tmp/serving_net.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_proximity" --json "$tmp/proximity.json"
 K2_BENCH_SCALE=$SCALE "$BUILD_DIR/bench/bench_kernels" --json "$tmp/kernels.json"
 
-python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json "$tmp"/partitioned.json "$tmp"/serving.json "$tmp"/proximity.json "$tmp"/kernels.json <<'EOF'
+python3 - "$OUT" "$SCALE" "$tmp"/fig8i.json "$tmp"/fig8l.json "$tmp"/streaming.json "$tmp"/partitioned.json "$tmp"/serving.json "$tmp"/serving_net.json "$tmp"/proximity.json "$tmp"/kernels.json <<'EOF'
 import datetime
 import json
 import platform

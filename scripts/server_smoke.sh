@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network serving layer: starts a real k2_server on
+# an ephemeral loopback port, then drives k2_server_smoke against it — full
+# ingest over the wire, every query type (and a conjunction) diff-checked
+# byte-for-byte against an in-process reference engine (including after a
+# mid-stream snapshot swap), the malformed-frame error paths, and finally a
+# kShutdown message whose graceful drain must bring the server process to a
+# clean exit 0.
+#
+# Usage: scripts/server_smoke.sh
+#   BUILD_DIR  build tree with k2_server + k2_server_smoke (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SERVER="$BUILD_DIR/src/k2_server"
+SMOKE="$BUILD_DIR/src/k2_server_smoke"
+
+for bin in "$SERVER" "$SMOKE"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build the default targets first" >&2
+    exit 1
+  fi
+done
+
+# Mining params must match on both sides: the smoke binary rebuilds the
+# same catalog in-process and compares raw reply bytes.
+M=3 K=4 EPS=120 PUBLISH_EVERY=2
+
+log=$(mktemp)
+trap 'rm -f "$log"; kill "$server_pid" 2>/dev/null || true' EXIT
+
+"$SERVER" --host 127.0.0.1 --port 0 --m "$M" --k "$K" --eps "$EPS" \
+  --publish-every "$PUBLISH_EVERY" > "$log" 2>&1 &
+server_pid=$!
+
+# The server prints "k2_server: listening on 127.0.0.1:PORT (...)" once
+# every worker's listener is bound; wait for that line, then parse the
+# kernel-chosen port out of it.
+port=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: k2_server exited before listening:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "error: k2_server never reported a listening port:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "k2_server up on 127.0.0.1:$port (pid $server_pid)"
+
+"$SMOKE" --host 127.0.0.1 --port "$port" --m "$M" --k "$K" --eps "$EPS" \
+  --publish-every "$PUBLISH_EVERY" --shutdown
+
+# --shutdown sent kShutdown: the daemon must drain and exit 0 on its own.
+if ! wait "$server_pid"; then
+  echo "error: k2_server did not shut down cleanly:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep -q "drained and shut down cleanly" "$log"
+echo "server smoke passed: wire answers byte-identical, drain clean"

@@ -1,0 +1,206 @@
+#include "serve/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace k2::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+K2Client::K2Client(int fd, size_t max_frame_payload)
+    : fd_(fd), reader_(max_frame_payload) {}
+
+K2Client::~K2Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<K2Client>> K2Client::Connect(
+    const K2ClientOptions& options) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1)
+    return Status::Invalid("k2_client: '" + options.host +
+                           "' is not an IPv4 address");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("k2_client: socket");
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Errno("k2_client: connect " + options.host + ":" +
+                                std::to_string(options.port));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<K2Client>(
+      new K2Client(fd, options.max_frame_payload));
+  HelloRequest hello;  // defaults: exactly kProtocolVersion
+  K2_ASSIGN_OR_RETURN(
+      const Frame reply,
+      client->RoundTrip(MessageType::kHello, EncodeHello(hello),
+                        MessageType::kHelloOk));
+  K2_ASSIGN_OR_RETURN(client->negotiated_version_,
+                      ParseHelloOk(reply.body));
+  return client;
+}
+
+uint32_t K2Client::Enqueue(MessageType type, std::string_view body) {
+  const uint32_t id = next_request_id_++;
+  out_ += EncodeFrame(type, id, body);
+  return id;
+}
+
+Status K2Client::FailConnection(Status status) {
+  if (conn_status_.ok()) conn_status_ = status;
+  return conn_status_;
+}
+
+Status K2Client::Flush() {
+  K2_RETURN_NOT_OK(conn_status_);
+  size_t sent = 0;
+  while (sent < out_.size()) {
+    const ssize_t n =
+        ::send(fd_, out_.data() + sent, out_.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return FailConnection(Errno("k2_client: send"));
+  }
+  out_.clear();
+  return Status::OK();
+}
+
+Result<Frame> K2Client::Receive() {
+  K2_RETURN_NOT_OK(conn_status_);
+  Frame frame;
+  for (;;) {
+    switch (reader_.Next(&frame)) {
+      case FrameReader::Poll::kFrame:
+        return frame;
+      case FrameReader::Poll::kError:
+        return FailConnection(Status::Invalid(
+            "k2_client: reply stream " +
+            std::string(WireErrorName(reader_.error())) + ": " +
+            reader_.error_message()));
+      case FrameReader::Poll::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0)
+      return FailConnection(
+          Status::IOError("k2_client: server closed the connection"));
+    return FailConnection(Errno("k2_client: recv"));
+  }
+}
+
+Result<Frame> K2Client::RoundTrip(MessageType type, std::string_view body,
+                                  MessageType want) {
+  Enqueue(type, body);
+  K2_RETURN_NOT_OK(Flush());
+  K2_ASSIGN_OR_RETURN(Frame reply, Receive());
+  if (reply.type == want) return reply;
+  if (reply.type == MessageType::kError) {
+    K2_ASSIGN_OR_RETURN(const ErrorReply error, ParseError(reply.body));
+    return ErrorReplyStatus(error);
+  }
+  return FailConnection(Status::Invalid(
+      std::string("k2_client: expected ") + MessageTypeName(want) +
+      ", server sent " + MessageTypeName(reply.type)));
+}
+
+Status K2Client::Ping() {
+  K2_ASSIGN_OR_RETURN([[maybe_unused]] const Frame reply,
+                      RoundTrip(MessageType::kPing, {}, MessageType::kPong));
+  return Status::OK();
+}
+
+Result<IngestAck> K2Client::Ingest(Timestamp t,
+                                   std::span<const SnapshotPoint> points) {
+  K2_ASSIGN_OR_RETURN(const Frame reply,
+                      RoundTrip(MessageType::kIngest, EncodeIngest(t, points),
+                                MessageType::kIngestOk));
+  return ParseIngestAck(reply.body);
+}
+
+Result<PublishAck> K2Client::Publish() {
+  K2_ASSIGN_OR_RETURN(
+      const Frame reply,
+      RoundTrip(MessageType::kPublish, {}, MessageType::kPublishOk));
+  return ParsePublishAck(reply.body);
+}
+
+Result<std::vector<Convoy>> K2Client::Query(const ConvoyQuery& query) {
+  K2_ASSIGN_OR_RETURN(const Frame reply,
+                      RoundTrip(MessageType::kQuery, EncodeQuery(query),
+                                MessageType::kConvoys));
+  return ParseConvoys(reply.body);
+}
+
+Result<std::vector<Convoy>> K2Client::TopK(const ConvoyQuery& query,
+                                           ConvoyRank rank, uint32_t k) {
+  TopKRequest request{query, rank, k};
+  K2_ASSIGN_OR_RETURN(const Frame reply,
+                      RoundTrip(MessageType::kTopK, EncodeTopK(request),
+                                MessageType::kConvoys));
+  return ParseConvoys(reply.body);
+}
+
+Result<ServerStats> K2Client::Stats() {
+  K2_ASSIGN_OR_RETURN(
+      const Frame reply,
+      RoundTrip(MessageType::kStats, {}, MessageType::kStatsOk));
+  return ParseServerStats(reply.body);
+}
+
+Status K2Client::Shutdown() {
+  K2_ASSIGN_OR_RETURN(
+      [[maybe_unused]] const Frame reply,
+      RoundTrip(MessageType::kShutdown, {}, MessageType::kShutdownOk));
+  return Status::OK();
+}
+
+uint32_t K2Client::SendPing() { return Enqueue(MessageType::kPing, {}); }
+
+uint32_t K2Client::SendIngest(Timestamp t,
+                              std::span<const SnapshotPoint> points) {
+  return Enqueue(MessageType::kIngest, EncodeIngest(t, points));
+}
+
+uint32_t K2Client::SendPublish() {
+  return Enqueue(MessageType::kPublish, {});
+}
+
+uint32_t K2Client::SendQuery(const ConvoyQuery& query) {
+  return Enqueue(MessageType::kQuery, EncodeQuery(query));
+}
+
+uint32_t K2Client::SendTopK(const ConvoyQuery& query, ConvoyRank rank,
+                            uint32_t k) {
+  TopKRequest request{query, rank, k};
+  return Enqueue(MessageType::kTopK, EncodeTopK(request));
+}
+
+uint32_t K2Client::SendStats() { return Enqueue(MessageType::kStats, {}); }
+
+}  // namespace k2::net

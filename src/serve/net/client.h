@@ -1,0 +1,107 @@
+// k2_client: a small blocking TCP client for the k2 wire protocol.
+//
+// Two API levels share one connection:
+//
+//  * Typed blocking calls (Ping, Ingest, Query, TopK, ...) — one round trip
+//    each, the right choice everywhere latency is not the bottleneck.
+//  * A pipelined layer (SendPing/SendQuery/... + Flush + Receive) that
+//    queues many requests before reading any reply. The server answers a
+//    connection's requests strictly in order, so reply N matches the N-th
+//    request sent; Receive() hands back raw frames with their request ids
+//    for the caller to match up. bench_serving_net's saturation phase and
+//    the smoke driver's swap test are built on this layer.
+//
+// Error handling mirrors the protocol's scoping: a kError reply for a
+// request-level failure (MalformedBody, IngestRejected, ...) is returned as
+// that call's Status and the connection stays usable; a frame-level error
+// (bad CRC on the reply stream, unexpected EOF) marks the connection broken
+// — every later call fails fast with the same sticky Status.
+#ifndef K2_SERVE_NET_CLIENT_H_
+#define K2_SERVE_NET_CLIENT_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/convoy.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "serve/net/protocol.h"
+#include "serve/query.h"
+
+namespace k2::net {
+
+struct K2ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Reply frame payload cap (protects the client from a rogue server).
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
+class K2Client {
+ public:
+  /// Connects and completes the kHello handshake; the returned client is
+  /// ready for requests.
+  static Result<std::unique_ptr<K2Client>> Connect(
+      const K2ClientOptions& options);
+  ~K2Client();
+
+  K2Client(const K2Client&) = delete;
+  K2Client& operator=(const K2Client&) = delete;
+
+  uint16_t negotiated_version() const { return negotiated_version_; }
+  /// OK while the connection is usable; the sticky transport error after a
+  /// frame-level failure.
+  Status connection_status() const { return conn_status_; }
+
+  // --- blocking one-round-trip calls -------------------------------------
+
+  Status Ping();
+  Result<IngestAck> Ingest(Timestamp t,
+                           std::span<const SnapshotPoint> points);
+  Result<PublishAck> Publish();
+  Result<std::vector<Convoy>> Query(const ConvoyQuery& query);
+  Result<std::vector<Convoy>> TopK(const ConvoyQuery& query, ConvoyRank rank,
+                                   uint32_t k);
+  Result<ServerStats> Stats();
+  /// Asks the server to shut down gracefully; the server acknowledges and
+  /// then closes this connection.
+  Status Shutdown();
+
+  // --- pipelined layer ----------------------------------------------------
+  // Send* appends the request to an output buffer and returns its request
+  // id; nothing hits the socket until Flush() (or a blocking call above,
+  // which flushes first to preserve ordering). Receive() blocks for the
+  // next reply frame; replies arrive in request order.
+
+  uint32_t SendPing();
+  uint32_t SendIngest(Timestamp t, std::span<const SnapshotPoint> points);
+  uint32_t SendPublish();
+  uint32_t SendQuery(const ConvoyQuery& query);
+  uint32_t SendTopK(const ConvoyQuery& query, ConvoyRank rank, uint32_t k);
+  uint32_t SendStats();
+
+  Status Flush();
+  Result<Frame> Receive();
+
+ private:
+  K2Client(int fd, size_t max_frame_payload);
+
+  uint32_t Enqueue(MessageType type, std::string_view body);
+  Status FailConnection(Status status);
+  /// Flush + Receive + demand `want` (unwrapping kError replies).
+  Result<Frame> RoundTrip(MessageType type, std::string_view body,
+                          MessageType want);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::string out_;
+  uint32_t next_request_id_ = 1;
+  uint16_t negotiated_version_ = 0;
+  Status conn_status_ = Status::OK();
+};
+
+}  // namespace k2::net
+
+#endif  // K2_SERVE_NET_CLIENT_H_

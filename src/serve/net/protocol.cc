@@ -1,0 +1,508 @@
+#include "serve/net/protocol.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace k2::net {
+namespace {
+
+// Fixed-width primitives are memcpy'd in host byte order — the same
+// assumption the WAL and SSTable formats make (every supported target is
+// little-endian; a big-endian port would swap here and in storage/lsm).
+template <typename T>
+void Put(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+/// Bounds-checked sequential reader over a body. Any short read marks the
+/// cursor failed; callers check ok() once at the end (reads after a failure
+/// return zero values and never touch out-of-bounds memory).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T Read() {
+    T v{};
+    if (pos_ + sizeof(T) > data_.size()) {
+      failed_ = true;
+      return v;
+    }
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view ReadBytes(size_t n) {
+    if (pos_ + n > data_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  bool ok() const { return !failed_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Status Malformed(const char* what) {
+  return Status::Invalid(std::string("MalformedBody: ") + what);
+}
+
+/// Shared tail check of every Parse*: the body must be consumed exactly.
+Status FinishParse(const Cursor& cur, const char* type) {
+  if (!cur.ok())
+    return Malformed((std::string(type) + " body is shorter than its "
+                                          "declared content")
+                         .c_str());
+  if (!cur.exhausted())
+    return Malformed(
+        (std::string(type) + " body has trailing bytes").c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsValidMessageType(uint8_t v) {
+  return v >= static_cast<uint8_t>(MessageType::kHello) &&
+         v <= static_cast<uint8_t>(MessageType::kError);
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello:
+      return "Hello";
+    case MessageType::kHelloOk:
+      return "HelloOk";
+    case MessageType::kPing:
+      return "Ping";
+    case MessageType::kPong:
+      return "Pong";
+    case MessageType::kIngest:
+      return "Ingest";
+    case MessageType::kIngestOk:
+      return "IngestOk";
+    case MessageType::kPublish:
+      return "Publish";
+    case MessageType::kPublishOk:
+      return "PublishOk";
+    case MessageType::kQuery:
+      return "Query";
+    case MessageType::kTopK:
+      return "TopK";
+    case MessageType::kConvoys:
+      return "Convoys";
+    case MessageType::kStats:
+      return "Stats";
+    case MessageType::kStatsOk:
+      return "StatsOk";
+    case MessageType::kShutdown:
+      return "Shutdown";
+    case MessageType::kShutdownOk:
+      return "ShutdownOk";
+    case MessageType::kError:
+      return "Error";
+  }
+  return "Unknown";
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kBadCrc:
+      return "BadCrc";
+    case WireError::kOversizeFrame:
+      return "OversizeFrame";
+    case WireError::kTruncatedFrame:
+      return "TruncatedFrame";
+    case WireError::kBadVersion:
+      return "BadVersion";
+    case WireError::kBadMessageType:
+      return "BadMessageType";
+    case WireError::kMalformedBody:
+      return "MalformedBody";
+    case WireError::kUnexpectedMessage:
+      return "UnexpectedMessage";
+    case WireError::kIngestRejected:
+      return "IngestRejected";
+    case WireError::kShuttingDown:
+      return "ShuttingDown";
+    case WireError::kInternalError:
+      return "InternalError";
+  }
+  return "Unknown";
+}
+
+std::string EncodeFrame(MessageType type, uint32_t request_id,
+                        std::string_view body) {
+  std::string payload;
+  payload.reserve(kMessageHeaderBytes + body.size());
+  Put<uint8_t>(&payload, static_cast<uint8_t>(kProtocolVersion));
+  Put<uint8_t>(&payload, static_cast<uint8_t>(type));
+  Put<uint16_t>(&payload, 0);  // reserved
+  Put<uint32_t>(&payload, request_id);
+  payload.append(body);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  Put<uint32_t>(&frame, Crc32c(payload.data(), payload.size()));
+  Put<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameReader::Feed(const void* data, size_t n) {
+  if (failed_) return;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+FrameReader::Poll FrameReader::Fail(WireError error, std::string message) {
+  failed_ = true;
+  error_ = error;
+  error_message_ = std::move(message);
+  return Poll::kError;
+}
+
+FrameReader::Poll FrameReader::Next(Frame* out) {
+  if (failed_) return Poll::kError;
+  if (buffered() < kFrameHeaderBytes) return Poll::kNeedMore;
+  const char* base = buffer_.data() + consumed_;
+  uint32_t crc = 0;
+  uint32_t len = 0;
+  std::memcpy(&crc, base, sizeof(crc));
+  std::memcpy(&len, base + sizeof(crc), sizeof(len));
+  if (len > max_payload_)
+    return Fail(WireError::kOversizeFrame,
+                "frame payload of " + std::to_string(len) +
+                    " bytes exceeds the cap of " +
+                    std::to_string(max_payload_));
+  if (len < kMessageHeaderBytes)
+    return Fail(WireError::kTruncatedFrame,
+                "frame payload of " + std::to_string(len) +
+                    " bytes cannot hold the 8-byte message header");
+  if (buffered() < kFrameHeaderBytes + len) return Poll::kNeedMore;
+  const char* payload = base + kFrameHeaderBytes;
+  if (Crc32c(payload, len) != crc)
+    return Fail(WireError::kBadCrc, "frame checksum mismatch");
+
+  const uint8_t version = static_cast<uint8_t>(payload[0]);
+  const uint8_t type = static_cast<uint8_t>(payload[1]);
+  if (version != kProtocolVersion)
+    return Fail(WireError::kBadVersion,
+                "protocol version " + std::to_string(version) +
+                    " is not supported (this build speaks " +
+                    std::to_string(kProtocolVersion) + ")");
+  if (!IsValidMessageType(type))
+    return Fail(WireError::kBadMessageType,
+                "message type " + std::to_string(type) + " is not defined");
+
+  out->version = version;
+  out->type = static_cast<MessageType>(type);
+  std::memcpy(&out->request_id, payload + 4, sizeof(uint32_t));
+  out->body.assign(payload + kMessageHeaderBytes, len - kMessageHeaderBytes);
+  consumed_ += kFrameHeaderBytes + len;
+  return Poll::kFrame;
+}
+
+// --- typed bodies ---------------------------------------------------------
+
+std::string EncodeHello(const HelloRequest& hello) {
+  std::string body;
+  Put<uint16_t>(&body, hello.min_version);
+  Put<uint16_t>(&body, hello.max_version);
+  return body;
+}
+
+Result<HelloRequest> ParseHello(std::string_view body) {
+  Cursor cur(body);
+  HelloRequest hello;
+  hello.min_version = cur.Read<uint16_t>();
+  hello.max_version = cur.Read<uint16_t>();
+  K2_RETURN_NOT_OK(FinishParse(cur, "Hello"));
+  if (hello.min_version > hello.max_version)
+    return Malformed("Hello min_version exceeds max_version");
+  return hello;
+}
+
+std::string EncodeHelloOk(uint16_t version) {
+  std::string body;
+  Put<uint16_t>(&body, version);
+  return body;
+}
+
+Result<uint16_t> ParseHelloOk(std::string_view body) {
+  Cursor cur(body);
+  const uint16_t version = cur.Read<uint16_t>();
+  K2_RETURN_NOT_OK(FinishParse(cur, "HelloOk"));
+  return version;
+}
+
+std::string EncodeIngest(Timestamp t, std::span<const SnapshotPoint> points) {
+  std::string body;
+  body.reserve(8 + points.size() * 20);
+  Put<int32_t>(&body, t);
+  Put<uint32_t>(&body, static_cast<uint32_t>(points.size()));
+  for (const SnapshotPoint& p : points) {
+    Put<uint32_t>(&body, p.oid);
+    Put<double>(&body, p.x);
+    Put<double>(&body, p.y);
+  }
+  return body;
+}
+
+Result<IngestRequest> ParseIngest(std::string_view body) {
+  Cursor cur(body);
+  IngestRequest req;
+  req.t = cur.Read<int32_t>();
+  const uint32_t count = cur.Read<uint32_t>();
+  if (!cur.ok()) return Malformed("Ingest body is shorter than its header");
+  // 20 bytes per point; checked up front so a lying count cannot drive the
+  // reserve below past the actual body size.
+  if (cur.remaining() != static_cast<size_t>(count) * 20)
+    return Malformed("Ingest point count does not match body length");
+  req.points.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotPoint p;
+    p.oid = cur.Read<uint32_t>();
+    p.x = cur.Read<double>();
+    p.y = cur.Read<double>();
+    req.points.push_back(p);
+  }
+  K2_RETURN_NOT_OK(FinishParse(cur, "Ingest"));
+  return req;
+}
+
+std::string EncodeIngestAck(const IngestAck& ack) {
+  std::string body;
+  Put<int32_t>(&body, ack.frontier);
+  Put<uint64_t>(&body, ack.closed_convoys);
+  return body;
+}
+
+Result<IngestAck> ParseIngestAck(std::string_view body) {
+  Cursor cur(body);
+  IngestAck ack;
+  ack.frontier = cur.Read<int32_t>();
+  ack.closed_convoys = cur.Read<uint64_t>();
+  K2_RETURN_NOT_OK(FinishParse(cur, "IngestOk"));
+  return ack;
+}
+
+std::string EncodePublishAck(const PublishAck& ack) {
+  std::string body;
+  Put<uint64_t>(&body, ack.epoch);
+  Put<uint64_t>(&body, ack.convoys);
+  return body;
+}
+
+Result<PublishAck> ParsePublishAck(std::string_view body) {
+  Cursor cur(body);
+  PublishAck ack;
+  ack.epoch = cur.Read<uint64_t>();
+  ack.convoys = cur.Read<uint64_t>();
+  K2_RETURN_NOT_OK(FinishParse(cur, "PublishOk"));
+  return ack;
+}
+
+namespace {
+
+constexpr uint8_t kQueryHasObject = 1u << 0;
+constexpr uint8_t kQueryHasWindow = 1u << 1;
+constexpr uint8_t kQueryHasRegion = 1u << 2;
+constexpr uint8_t kQueryKnownMask =
+    kQueryHasObject | kQueryHasWindow | kQueryHasRegion;
+
+void EncodeQueryInto(std::string* body, const ConvoyQuery& query) {
+  uint8_t mask = 0;
+  if (query.object.has_value()) mask |= kQueryHasObject;
+  if (query.time_window.has_value()) mask |= kQueryHasWindow;
+  if (query.region.has_value()) mask |= kQueryHasRegion;
+  Put<uint8_t>(body, mask);
+  if (query.object.has_value()) Put<uint32_t>(body, *query.object);
+  if (query.time_window.has_value()) {
+    Put<int32_t>(body, query.time_window->start);
+    Put<int32_t>(body, query.time_window->end);
+  }
+  if (query.region.has_value()) {
+    Put<double>(body, query.region->min_x);
+    Put<double>(body, query.region->min_y);
+    Put<double>(body, query.region->max_x);
+    Put<double>(body, query.region->max_y);
+  }
+}
+
+Result<ConvoyQuery> ParseQueryFrom(Cursor* cur) {
+  ConvoyQuery query;
+  const uint8_t mask = cur->Read<uint8_t>();
+  if (cur->ok() && (mask & ~kQueryKnownMask) != 0)
+    return Malformed("Query predicate mask has undefined bits set");
+  if (mask & kQueryHasObject) query.object = cur->Read<uint32_t>();
+  if (mask & kQueryHasWindow) {
+    TimeRange window;
+    window.start = cur->Read<int32_t>();
+    window.end = cur->Read<int32_t>();
+    query.time_window = window;
+  }
+  if (mask & kQueryHasRegion) {
+    Rect region;
+    region.min_x = cur->Read<double>();
+    region.min_y = cur->Read<double>();
+    region.max_x = cur->Read<double>();
+    region.max_y = cur->Read<double>();
+    query.region = region;
+  }
+  return query;
+}
+
+}  // namespace
+
+std::string EncodeQuery(const ConvoyQuery& query) {
+  std::string body;
+  EncodeQueryInto(&body, query);
+  return body;
+}
+
+Result<ConvoyQuery> ParseQuery(std::string_view body) {
+  Cursor cur(body);
+  K2_ASSIGN_OR_RETURN(ConvoyQuery query, ParseQueryFrom(&cur));
+  K2_RETURN_NOT_OK(FinishParse(cur, "Query"));
+  return query;
+}
+
+std::string EncodeTopK(const TopKRequest& request) {
+  std::string body;
+  Put<uint8_t>(&body, static_cast<uint8_t>(request.rank));
+  Put<uint32_t>(&body, request.k);
+  EncodeQueryInto(&body, request.query);
+  return body;
+}
+
+Result<TopKRequest> ParseTopK(std::string_view body) {
+  Cursor cur(body);
+  TopKRequest request;
+  const uint8_t rank = cur.Read<uint8_t>();
+  if (cur.ok() && rank > static_cast<uint8_t>(ConvoyRank::kLargest))
+    return Malformed("TopK rank is not a defined ConvoyRank");
+  request.rank = static_cast<ConvoyRank>(rank);
+  request.k = cur.Read<uint32_t>();
+  K2_ASSIGN_OR_RETURN(request.query, ParseQueryFrom(&cur));
+  K2_RETURN_NOT_OK(FinishParse(cur, "TopK"));
+  return request;
+}
+
+std::string EncodeConvoys(std::span<const Convoy> convoys) {
+  std::string body;
+  size_t bytes = 4;
+  for (const Convoy& v : convoys) bytes += 12 + v.objects.size() * 4;
+  body.reserve(bytes);
+  Put<uint32_t>(&body, static_cast<uint32_t>(convoys.size()));
+  for (const Convoy& v : convoys) {
+    Put<int32_t>(&body, v.start);
+    Put<int32_t>(&body, v.end);
+    Put<uint32_t>(&body, static_cast<uint32_t>(v.objects.size()));
+    for (ObjectId oid : v.objects) Put<uint32_t>(&body, oid);
+  }
+  return body;
+}
+
+Result<std::vector<Convoy>> ParseConvoys(std::string_view body) {
+  Cursor cur(body);
+  const uint32_t count = cur.Read<uint32_t>();
+  std::vector<Convoy> convoys;
+  for (uint32_t i = 0; cur.ok() && i < count; ++i) {
+    Convoy v;
+    v.start = cur.Read<int32_t>();
+    v.end = cur.Read<int32_t>();
+    const uint32_t nobj = cur.Read<uint32_t>();
+    if (!cur.ok()) break;
+    if (cur.remaining() < static_cast<size_t>(nobj) * 4)
+      return Malformed("Convoys object count exceeds body length");
+    std::vector<ObjectId> ids;
+    ids.reserve(nobj);
+    for (uint32_t j = 0; j < nobj; ++j) ids.push_back(cur.Read<uint32_t>());
+    // The wire carries the set in its canonical sorted order; FromSorted
+    // would DCHECK on hostile input, so go through the sorting constructor.
+    v.objects = ObjectSet(std::move(ids));
+    convoys.push_back(std::move(v));
+  }
+  K2_RETURN_NOT_OK(FinishParse(cur, "Convoys"));
+  return convoys;
+}
+
+std::string EncodeServerStats(const ServerStats& stats) {
+  std::string body;
+  Put<uint64_t>(&body, stats.epoch);
+  Put<uint64_t>(&body, stats.catalog_convoys);
+  Put<int32_t>(&body, stats.frontier);
+  Put<uint64_t>(&body, stats.ticks_ingested);
+  Put<uint64_t>(&body, stats.closed_convoys);
+  return body;
+}
+
+Result<ServerStats> ParseServerStats(std::string_view body) {
+  Cursor cur(body);
+  ServerStats stats;
+  stats.epoch = cur.Read<uint64_t>();
+  stats.catalog_convoys = cur.Read<uint64_t>();
+  stats.frontier = cur.Read<int32_t>();
+  stats.ticks_ingested = cur.Read<uint64_t>();
+  stats.closed_convoys = cur.Read<uint64_t>();
+  K2_RETURN_NOT_OK(FinishParse(cur, "StatsOk"));
+  return stats;
+}
+
+std::string EncodeError(WireError error, std::string_view message) {
+  std::string body;
+  // Error text is bounded so a reply always fits one modest frame.
+  const size_t len = std::min<size_t>(message.size(), 0xffff);
+  Put<uint8_t>(&body, static_cast<uint8_t>(error));
+  Put<uint16_t>(&body, static_cast<uint16_t>(len));
+  body.append(message.substr(0, len));
+  return body;
+}
+
+Result<ErrorReply> ParseError(std::string_view body) {
+  Cursor cur(body);
+  ErrorReply reply;
+  const uint8_t code = cur.Read<uint8_t>();
+  if (cur.ok() && (code < static_cast<uint8_t>(WireError::kBadCrc) ||
+                   code > static_cast<uint8_t>(WireError::kInternalError)))
+    return Malformed("Error code is not a defined WireError");
+  reply.error = static_cast<WireError>(code);
+  const uint16_t len = cur.Read<uint16_t>();
+  reply.message = std::string(cur.ReadBytes(len));
+  K2_RETURN_NOT_OK(FinishParse(cur, "Error"));
+  return reply;
+}
+
+Status ErrorReplyStatus(const ErrorReply& reply) {
+  const std::string text = std::string("wire error ") +
+                           WireErrorName(reply.error) + ": " + reply.message;
+  switch (reply.error) {
+    case WireError::kIngestRejected:
+    case WireError::kShuttingDown:
+      return Status::Invalid(text);
+    case WireError::kInternalError:
+      return Status::Internal(text);
+    default:
+      return Status::Invalid(text);
+  }
+}
+
+}  // namespace k2::net

@@ -1,0 +1,223 @@
+// k2 wire protocol v1 — the compact length-framed binary protocol spoken
+// between k2_server and k2_client (docs/WIRE_PROTOCOL.md is the normative
+// spec; this header is its implementation and must stay in sync — CI greps
+// every MessageType and WireError enumerator against the doc).
+//
+// Framing reuses the WAL discipline (storage/lsm/wal.h): every frame is
+//
+//   [uint32 crc32c(payload)] [uint32 payload_len] [payload bytes]
+//
+// little-endian, with the payload itself carrying a fixed 8-byte message
+// header followed by a message-specific body:
+//
+//   [uint8 version] [uint8 msg_type] [uint16 reserved=0] [uint32 request_id]
+//
+// A frame is either accepted whole or rejected with a named WireError;
+// errors are connection-scoped — the peer that sent a malformed frame gets
+// one kError frame back and its connection is closed, other connections are
+// untouched. Payloads are capped (kMaxFramePayload) so a corrupt or hostile
+// length field can never drive an allocation.
+#ifndef K2_SERVE_NET_PROTOCOL_H_
+#define K2_SERVE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/convoy.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "serve/query.h"
+
+namespace k2::net {
+
+/// Highest (and currently only) protocol version this build speaks. The
+/// kHello handshake picks max(client range ∩ server range); a disjoint
+/// range is a kBadVersion error.
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// Frame header: crc32c + payload length, 4 bytes each.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Message header inside the payload: version, type, reserved, request id.
+inline constexpr size_t kMessageHeaderBytes = 8;
+/// Hard cap on one frame's payload. Large enough for a dense ingest tick or
+/// a full catalog answer, small enough that a corrupt length field cannot
+/// drive a multi-GB allocation. Both sides enforce it on decode; the server
+/// additionally enforces it on encode (an oversize answer is an error, not
+/// a silently broken frame).
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// Every message of protocol v1. Client-to-server types are requests;
+/// server-to-client types are responses. The numeric values are wire
+/// format — never renumber, only append.
+enum class MessageType : uint8_t {
+  kHello = 1,       ///< c→s: version negotiation; MUST be the first message
+  kHelloOk = 2,     ///< s→c: negotiated version
+  kPing = 3,        ///< c→s: liveness probe, empty body
+  kPong = 4,        ///< s→c: reply to kPing, empty body
+  kIngest = 5,      ///< c→s: one complete tick of movement data
+  kIngestOk = 6,    ///< s→c: ingest accepted (frontier, closed-convoy count)
+  kPublish = 7,     ///< c→s: force-publish a new catalog snapshot
+  kPublishOk = 8,   ///< s→c: published epoch and convoy count
+  kQuery = 9,       ///< c→s: conjunction query (ConvoyQuery encoding)
+  kTopK = 10,       ///< c→s: ranked top-k over an optional conjunction
+  kConvoys = 11,    ///< s→c: answer to kQuery/kTopK — a convoy list
+  kStats = 12,      ///< c→s: server counters probe, empty body
+  kStatsOk = 13,    ///< s→c: epoch, catalog size, frontier, ingest counters
+  kShutdown = 14,   ///< c→s: request graceful server shutdown
+  kShutdownOk = 15, ///< s→c: shutdown acknowledged, connection will close
+  kError = 16,      ///< s→c: named failure (WireError + message)
+};
+
+/// True when `v` is a defined MessageType value.
+bool IsValidMessageType(uint8_t v);
+/// "Hello", "IngestOk", ... (enumerator name without the k prefix).
+const char* MessageTypeName(MessageType type);
+
+/// Named protocol errors, carried in kError bodies. Frame-level errors
+/// (kBadCrc, kOversizeFrame, kTruncatedFrame, kBadVersion, kBadMessageType)
+/// are fatal to the connection; request-level errors (kMalformedBody,
+/// kUnexpectedMessage, kIngestRejected, kShuttingDown, kInternalError) name
+/// a rejected request on a connection that stays usable — except
+/// kUnexpectedMessage before a completed handshake, which also closes.
+/// Numeric values are wire format — never renumber, only append.
+enum class WireError : uint8_t {
+  kBadCrc = 1,            ///< frame checksum mismatch
+  kOversizeFrame = 2,     ///< payload_len exceeds the decoder's cap
+  kTruncatedFrame = 3,    ///< payload shorter than the message header
+  kBadVersion = 4,        ///< unsupported protocol version
+  kBadMessageType = 5,    ///< msg_type is not a defined MessageType
+  kMalformedBody = 6,     ///< body does not parse as its type demands
+  kUnexpectedMessage = 7, ///< valid type, wrong direction or state
+  kIngestRejected = 8,    ///< the miner refused the tick (message says why)
+  kShuttingDown = 9,      ///< server is draining; request not served
+  kInternalError = 10,    ///< server-side failure (message says what)
+};
+
+const char* WireErrorName(WireError error);
+
+/// One decoded frame: the message header plus the raw body bytes.
+struct Frame {
+  uint16_t version = kProtocolVersion;
+  MessageType type = MessageType::kError;
+  uint32_t request_id = 0;
+  std::string body;
+};
+
+/// Serializes a complete frame (header + CRC) ready for the socket.
+std::string EncodeFrame(MessageType type, uint32_t request_id,
+                        std::string_view body);
+
+/// Incremental frame decoder over a byte stream. Feed() arbitrary chunks
+/// (as read from a socket); Poll() yields complete frames. A malformed
+/// stream puts the reader into a sticky error state with a named WireError —
+/// the connection must be torn down, there is no resynchronization.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const void* data, size_t n);
+
+  enum class Poll {
+    kFrame,    ///< *out holds the next frame
+    kNeedMore, ///< the buffered bytes do not complete a frame yet
+    kError,    ///< sticky; see error() / error_message()
+  };
+  Poll Next(Frame* out);
+
+  WireError error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Poll Fail(WireError error, std::string message);
+
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool failed_ = false;
+  WireError error_ = WireError::kInternalError;
+  std::string error_message_;
+};
+
+// --- typed message bodies -------------------------------------------------
+// Encode* builds the body bytes of one message type; Parse* is its inverse
+// and returns kInvalid ("MalformedBody: ...") on any length/content
+// mismatch, including trailing bytes. Every body round-trips byte-identical
+// through its Encode/Parse pair (asserted by tests/serve_net_test.cc).
+
+struct HelloRequest {
+  uint16_t min_version = kProtocolVersion;
+  uint16_t max_version = kProtocolVersion;
+};
+std::string EncodeHello(const HelloRequest& hello);
+Result<HelloRequest> ParseHello(std::string_view body);
+
+std::string EncodeHelloOk(uint16_t version);
+Result<uint16_t> ParseHelloOk(std::string_view body);
+
+struct IngestRequest {
+  Timestamp t = 0;
+  std::vector<SnapshotPoint> points;
+};
+std::string EncodeIngest(Timestamp t, std::span<const SnapshotPoint> points);
+Result<IngestRequest> ParseIngest(std::string_view body);
+
+struct IngestAck {
+  Timestamp frontier = kInvalidTimestamp;
+  uint64_t closed_convoys = 0; ///< eagerly closed so far, this stream
+};
+std::string EncodeIngestAck(const IngestAck& ack);
+Result<IngestAck> ParseIngestAck(std::string_view body);
+
+struct PublishAck {
+  uint64_t epoch = 0;
+  uint64_t convoys = 0;
+};
+std::string EncodePublishAck(const PublishAck& ack);
+Result<PublishAck> ParsePublishAck(std::string_view body);
+
+std::string EncodeQuery(const ConvoyQuery& query);
+Result<ConvoyQuery> ParseQuery(std::string_view body);
+
+struct TopKRequest {
+  ConvoyQuery query;
+  ConvoyRank rank = ConvoyRank::kLongest;
+  uint32_t k = 0;
+};
+std::string EncodeTopK(const TopKRequest& request);
+Result<TopKRequest> ParseTopK(std::string_view body);
+
+std::string EncodeConvoys(std::span<const Convoy> convoys);
+Result<std::vector<Convoy>> ParseConvoys(std::string_view body);
+
+struct ServerStats {
+  uint64_t epoch = 0;            ///< published snapshot epoch
+  uint64_t catalog_convoys = 0;  ///< published snapshot size
+  Timestamp frontier = kInvalidTimestamp;
+  uint64_t ticks_ingested = 0;
+  uint64_t closed_convoys = 0;
+};
+std::string EncodeServerStats(const ServerStats& stats);
+Result<ServerStats> ParseServerStats(std::string_view body);
+
+struct ErrorReply {
+  WireError error = WireError::kInternalError;
+  std::string message;
+};
+std::string EncodeError(WireError error, std::string_view message);
+Result<ErrorReply> ParseError(std::string_view body);
+
+/// A kError reply as a Status: "wire error <Name>: <message>". Frame and
+/// handshake errors map to kInvalid, kIngestRejected/kShuttingDown/
+/// kInternalError keep their operational flavor.
+Status ErrorReplyStatus(const ErrorReply& reply);
+
+}  // namespace k2::net
+
+#endif  // K2_SERVE_NET_PROTOCOL_H_

@@ -1,0 +1,462 @@
+// k2_server_smoke — the wire-vs-in-process differential driver behind the
+// server-smoke CI job (scripts/server_smoke.sh).
+//
+// It connects to a running k2_server, streams a deterministic planted-convoy
+// dataset through kIngest, and mirrors every tick into an in-process
+// reference (OnlineK2HopMiner -> ConvoyCatalog with the same publish
+// cadence). After each publish it runs every ConvoyQuery type plus a full
+// conjunction over the wire — pipelined — and demands the raw kConvoys
+// reply bodies be BYTE-IDENTICAL to the reference answers encoded with the
+// same protocol routines. The two-phase schedule (ingest, publish, compare;
+// ingest more, publish, compare) makes the second round run against a
+// swapped snapshot, proving wire readers observe the swap exactly as
+// in-process readers do. It also probes the error paths (malformed body
+// keeps the connection; a corrupt CRC kills it with a named error) and,
+// with --shutdown, ends by driving the graceful drain.
+//
+//   k2_server_smoke --port N [--host A] [--m N] [--k N] [--eps F]
+//                   [--publish-every N] [--shutdown]
+//   k2_server_smoke --dump-examples   # hex frames for docs/WIRE_PROTOCOL.md
+//
+// The mining flags MUST match the ones the server was started with.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/online.h"
+#include "gen/synthetic.h"
+#include "model/dataset.h"
+#include "serve/catalog.h"
+#include "serve/net/client.h"
+#include "serve/net/protocol.h"
+#include "serve/query.h"
+#include "storage/memory_store.h"
+
+namespace {
+
+using k2::Convoy;
+using k2::ConvoyId;
+using k2::ConvoyQuery;
+using k2::ConvoyQueryEngine;
+using k2::ConvoyRank;
+using k2::Dataset;
+using k2::ObjectId;
+using k2::Rect;
+using k2::SnapshotPoint;
+using k2::Timestamp;
+using k2::TimeRange;
+using k2::net::Frame;
+using k2::net::FrameReader;
+using k2::net::MessageType;
+using k2::net::WireError;
+
+[[noreturn]] void Fail(const std::string& what) {
+  std::fprintf(stderr, "k2_server_smoke: FAIL: %s\n", what.c_str());
+  std::exit(1);
+}
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) Fail(what);
+}
+
+void CheckStatus(const k2::Status& status, const std::string& what) {
+  if (!status.ok()) Fail(what + ": " + status.ToString());
+}
+
+// --- --dump-examples ------------------------------------------------------
+
+void DumpHex(const char* label, const std::string& bytes) {
+  std::printf("%s (%zu bytes)\n", label, bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::printf("%02x%s", static_cast<unsigned char>(bytes[i]),
+                (i + 1) % 16 == 0 || i + 1 == bytes.size() ? "\n" : " ");
+  }
+  std::printf("\n");
+}
+
+int DumpExamples() {
+  using namespace k2::net;
+  DumpHex("Hello (request_id=1, versions [1,1])",
+          EncodeFrame(MessageType::kHello, 1, EncodeHello({1, 1})));
+  DumpHex("HelloOk (request_id=1, version 1)",
+          EncodeFrame(MessageType::kHelloOk, 1, EncodeHelloOk(1)));
+  const std::vector<SnapshotPoint> points = {
+      {1, 10.0, 20.0}, {2, 11.5, 20.25}, {3, 12.0, 21.0}};
+  DumpHex("Ingest (request_id=2, t=7, 3 points)",
+          EncodeFrame(MessageType::kIngest, 2, EncodeIngest(7, points)));
+  IngestAck ack;
+  ack.frontier = 7;
+  ack.closed_convoys = 0;
+  DumpHex("IngestOk (request_id=2, frontier=7, closed=0)",
+          EncodeFrame(MessageType::kIngestOk, 2, EncodeIngestAck(ack)));
+  ConvoyQuery query;
+  query.time_window = TimeRange{0, 16};
+  DumpHex("Query (request_id=3, window [0,16])",
+          EncodeFrame(MessageType::kQuery, 3, EncodeQuery(query)));
+  const std::vector<Convoy> convoys = {
+      Convoy(k2::ObjectSet::Of({1, 2, 3}), 4, 9)};
+  DumpHex("Convoys (request_id=3, one convoy {1,2,3} x [4,9])",
+          EncodeFrame(MessageType::kConvoys, 3, EncodeConvoys(convoys)));
+  DumpHex("Error (request_id=0, BadCrc)",
+          EncodeFrame(MessageType::kError, 0,
+                      EncodeError(WireError::kBadCrc,
+                                  "frame crc mismatch: stored deadbeef")));
+  return 0;
+}
+
+// --- raw socket probe (for deliberately corrupt frames) -------------------
+
+struct RawConn {
+  int fd = -1;
+  FrameReader reader;
+
+  explicit RawConn(const std::string& host, uint16_t port) {
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    Check(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          "raw probe: bad host");
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    Check(fd >= 0, "raw probe: socket");
+    Check(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) == 0,
+          "raw probe: connect");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      Check(n > 0 || errno == EINTR, "raw probe: send");
+      if (n > 0) sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Next reply frame; fails the smoke on EOF when `eof_ok` is false.
+  /// Returns false on clean EOF.
+  bool Receive(Frame* out, bool eof_ok = false) {
+    for (;;) {
+      switch (reader.Next(out)) {
+        case FrameReader::Poll::kFrame:
+          return true;
+        case FrameReader::Poll::kError:
+          Fail("raw probe: reply stream error: " + reader.error_message());
+        case FrameReader::Poll::kNeedMore:
+          break;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        reader.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Check(n == 0, "raw probe: recv");
+      Check(eof_ok, "raw probe: unexpected EOF");
+      return false;
+    }
+  }
+
+  /// True once the server closes this connection (EOF observed).
+  bool WaitForClose() {
+    Frame frame;
+    while (Receive(&frame, /*eof_ok=*/true)) {
+    }
+    return true;
+  }
+};
+
+k2::net::ErrorReply ExpectError(const Frame& frame, WireError want,
+                                const std::string& context) {
+  Check(frame.type == MessageType::kError,
+        context + ": expected kError, got " +
+            k2::net::MessageTypeName(frame.type));
+  auto parsed = k2::net::ParseError(frame.body);
+  CheckStatus(parsed.status(), context + ": unparseable kError body");
+  Check(parsed.value().error == want,
+        context + ": expected " + k2::net::WireErrorName(want) + ", got " +
+            k2::net::WireErrorName(parsed.value().error));
+  return parsed.value();
+}
+
+void ProbeErrorPaths(const std::string& host, uint16_t port) {
+  // 1. Malformed body is request-scoped: the connection stays usable.
+  {
+    RawConn conn(host, port);
+    conn.Send(k2::net::EncodeFrame(MessageType::kHello, 1,
+                                   k2::net::EncodeHello({1, 1})));
+    Frame frame;
+    conn.Receive(&frame);
+    Check(frame.type == MessageType::kHelloOk, "probe: handshake failed");
+    conn.Send(k2::net::EncodeFrame(MessageType::kQuery, 2,
+                                   "this is not a query body"));
+    conn.Receive(&frame);
+    ExpectError(frame, WireError::kMalformedBody, "malformed-body probe");
+    // Same connection must still answer.
+    conn.Send(k2::net::EncodeFrame(MessageType::kPing, 3, {}));
+    conn.Receive(&frame);
+    Check(frame.type == MessageType::kPong,
+          "probe: connection unusable after request-level error");
+  }
+  // 2. A corrupt CRC is fatal: named error, then close; the server (and
+  // every other connection) survives.
+  {
+    RawConn conn(host, port);
+    std::string hello = k2::net::EncodeFrame(MessageType::kHello, 1,
+                                             k2::net::EncodeHello({1, 1}));
+    hello[0] ^= 0x40;  // flip one CRC bit
+    conn.Send(hello);
+    Frame frame;
+    conn.Receive(&frame);
+    ExpectError(frame, WireError::kBadCrc, "bad-crc probe");
+    conn.WaitForClose();
+  }
+  // 3. Skipping the handshake is fatal with a named error.
+  {
+    RawConn conn(host, port);
+    conn.Send(k2::net::EncodeFrame(MessageType::kPing, 1, {}));
+    Frame frame;
+    conn.Receive(&frame);
+    ExpectError(frame, WireError::kUnexpectedMessage, "no-handshake probe");
+    conn.WaitForClose();
+  }
+}
+
+// --- the differential smoke ----------------------------------------------
+
+struct ReferenceServer {
+  k2::MemoryStore store;
+  k2::ConvoyCatalog catalog;
+  std::unique_ptr<k2::OnlineK2HopMiner> miner;
+
+  ReferenceServer(const k2::MiningParams& params, size_t publish_every) {
+    k2::OnlineK2HopOptions options;
+    options.on_closed = catalog.OnClosedHook(&store, publish_every);
+    miner = std::make_unique<k2::OnlineK2HopMiner>(&store, params, options);
+    catalog.Publish();  // mirror K2Server::Start's initial empty publish
+  }
+};
+
+std::vector<ConvoyQuery> SmokeQueries() {
+  std::vector<ConvoyQuery> queries;
+  queries.emplace_back();  // unconstrained
+  ConvoyQuery q;
+  q.object = ObjectId{0};  // member of planted group 0
+  queries.push_back(q);
+  q = ConvoyQuery{};
+  q.object = ObjectId{100000};  // absent object
+  queries.push_back(q);
+  q = ConvoyQuery{};
+  q.time_window = TimeRange{10, 25};
+  queries.push_back(q);
+  q = ConvoyQuery{};
+  q.region = Rect{0.0, 0.0, 6000.0, 6000.0};
+  queries.push_back(q);
+  q = ConvoyQuery{};  // full conjunction
+  q.object = ObjectId{0};
+  q.time_window = TimeRange{5, 40};
+  q.region = Rect{-10000.0, -10000.0, 10000.0, 10000.0};
+  queries.push_back(q);
+  return queries;
+}
+
+std::string ReferenceFindBody(const ReferenceServer& ref,
+                              const ConvoyQuery& query) {
+  const auto snap = ref.catalog.snapshot();
+  std::vector<ConvoyId> ids;
+  ConvoyQueryEngine::FindIds(*snap, query, &ids);
+  std::vector<Convoy> convoys;
+  convoys.reserve(ids.size());
+  for (ConvoyId id : ids) convoys.push_back(snap->convoy(id));
+  return k2::net::EncodeConvoys(convoys);
+}
+
+std::string ReferenceTopKBody(const ReferenceServer& ref,
+                              const ConvoyQuery& query, ConvoyRank rank,
+                              uint32_t k) {
+  const auto snap = ref.catalog.snapshot();
+  std::vector<ConvoyId> ids;
+  ConvoyQueryEngine::TopKIds(*snap, query, rank, k, &ids);
+  std::vector<Convoy> convoys;
+  convoys.reserve(ids.size());
+  for (ConvoyId id : ids) convoys.push_back(snap->convoy(id));
+  return k2::net::EncodeConvoys(convoys);
+}
+
+/// Pipelines every query type + two TopK forms over the wire and demands
+/// byte-identical reply bodies vs the in-process reference.
+void CompareAllQueries(k2::net::K2Client* client, const ReferenceServer& ref,
+                       const char* phase) {
+  const std::vector<ConvoyQuery> queries = SmokeQueries();
+  std::vector<std::string> expected;
+  for (const ConvoyQuery& query : queries) {
+    client->SendQuery(query);
+    expected.push_back(ReferenceFindBody(ref, query));
+  }
+  client->SendTopK(ConvoyQuery{}, ConvoyRank::kLongest, 3);
+  expected.push_back(
+      ReferenceTopKBody(ref, ConvoyQuery{}, ConvoyRank::kLongest, 3));
+  ConvoyQuery windowed;
+  windowed.time_window = TimeRange{0, 30};
+  client->SendTopK(windowed, ConvoyRank::kLargest, 5);
+  expected.push_back(
+      ReferenceTopKBody(ref, windowed, ConvoyRank::kLargest, 5));
+
+  CheckStatus(client->Flush(), std::string(phase) + ": flush");
+  for (size_t i = 0; i < expected.size(); ++i) {
+    auto reply = client->Receive();
+    CheckStatus(reply.status(), std::string(phase) + ": receive");
+    Check(reply.value().type == MessageType::kConvoys,
+          std::string(phase) + ": query " + std::to_string(i) +
+              " answered with " +
+              k2::net::MessageTypeName(reply.value().type));
+    Check(reply.value().body == expected[i],
+          std::string(phase) + ": query " + std::to_string(i) +
+              " reply body differs from in-process reference (" +
+              std::to_string(reply.value().body.size()) + " vs " +
+              std::to_string(expected[i].size()) + " bytes)");
+  }
+  std::printf("k2_server_smoke: %s: %zu wire answers byte-identical\n",
+              phase, expected.size());
+}
+
+int RunSmoke(const std::string& host, uint16_t port,
+             const k2::MiningParams& params, size_t publish_every,
+             bool shutdown) {
+  // Deterministic dataset: three planted groups + noise, dense enough that
+  // every query type has non-empty answers.
+  k2::PlantedConvoySpec spec;
+  spec.num_noise_objects = 30;
+  spec.num_ticks = 48;
+  spec.seed = 20260807;
+  spec.groups = {{4, 2, 30, 8.0}, {3, 8, 40, 6.0}, {5, 12, 46, 10.0}};
+  const Dataset dataset = k2::GeneratePlantedConvoys(spec);
+
+  ReferenceServer ref(params, publish_every);
+
+  auto connected = k2::net::K2Client::Connect({host, port});
+  CheckStatus(connected.status(), "connect");
+  std::unique_ptr<k2::net::K2Client> client = connected.MoveValue();
+  Check(client->negotiated_version() == k2::net::kProtocolVersion,
+        "negotiated version mismatch");
+  CheckStatus(client->Ping(), "ping");
+
+  const std::vector<Timestamp>& ticks = dataset.timestamps();
+  const size_t half = ticks.size() / 2;
+
+  auto ingest_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Timestamp t = ticks[i];
+      const std::vector<SnapshotPoint> points =
+          k2::SnapshotPoints(dataset, t);
+      auto ack = client->Ingest(t, points);
+      CheckStatus(ack.status(), "ingest t=" + std::to_string(t));
+      CheckStatus(ref.miner->AppendTick(t, points),
+                  "reference ingest t=" + std::to_string(t));
+      CheckStatus(ref.catalog.hook_status(), "reference hook");
+      Check(ack.value().frontier == ref.miner->frontier(),
+            "frontier diverged at t=" + std::to_string(t));
+      Check(ack.value().closed_convoys ==
+                ref.miner->closed_convoys().size(),
+            "closed-convoy count diverged at t=" + std::to_string(t));
+    }
+  };
+
+  // Phase 1: first half of the stream, explicit publish, full comparison.
+  ingest_range(0, half);
+  auto publish = client->Publish();
+  CheckStatus(publish.status(), "publish 1");
+  ref.catalog.Publish();
+  const uint64_t epoch1 = publish.value().epoch;
+  CompareAllQueries(client.get(), ref, "phase 1");
+
+  // Phase 2: rest of the stream, publish again — the catalog snapshot
+  // swaps under live wire readers — and everything must still agree.
+  ingest_range(half, ticks.size());
+  publish = client->Publish();
+  CheckStatus(publish.status(), "publish 2");
+  ref.catalog.Publish();
+  Check(publish.value().epoch > epoch1,
+        "second publish did not advance the snapshot epoch");
+  CompareAllQueries(client.get(), ref, "phase 2 (post-swap)");
+
+  // Aggregate counters agree with the reference.
+  auto stats = client->Stats();
+  CheckStatus(stats.status(), "stats");
+  Check(stats.value().frontier == ref.miner->frontier(),
+        "stats frontier mismatch");
+  Check(stats.value().ticks_ingested == ref.miner->stats().ticks_ingested,
+        "stats tick count mismatch");
+  Check(stats.value().closed_convoys == ref.miner->closed_convoys().size(),
+        "stats closed-convoy mismatch");
+  Check(stats.value().catalog_convoys == ref.catalog.snapshot()->size(),
+        "stats catalog size mismatch");
+  std::printf(
+      "k2_server_smoke: stats agree (frontier=%d, ticks=%llu, "
+      "closed=%llu, catalog=%llu)\n",
+      stats.value().frontier,
+      static_cast<unsigned long long>(stats.value().ticks_ingested),
+      static_cast<unsigned long long>(stats.value().closed_convoys),
+      static_cast<unsigned long long>(stats.value().catalog_convoys));
+
+  ProbeErrorPaths(host, port);
+  std::printf("k2_server_smoke: error-path probes passed\n");
+
+  if (shutdown) {
+    CheckStatus(client->Shutdown(), "shutdown");
+    std::printf("k2_server_smoke: graceful shutdown acknowledged\n");
+  }
+  std::printf("k2_server_smoke: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  k2::MiningParams params{3, 4, 120.0};
+  size_t publish_every = 2;
+  bool shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) Fail(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--dump-examples") return DumpExamples();
+    if (arg == "--host") {
+      host = value();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(value()));
+    } else if (arg == "--m") {
+      params.m = std::atoi(value());
+    } else if (arg == "--k") {
+      params.k = std::atoi(value());
+    } else if (arg == "--eps") {
+      params.eps = std::atof(value());
+    } else if (arg == "--publish-every") {
+      publish_every = static_cast<size_t>(std::atoll(value()));
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      Fail("unknown flag " + arg);
+    }
+  }
+  if (port == 0) Fail("--port is required (the server's listening port)");
+  return RunSmoke(host, port, params, publish_every, shutdown);
+}
