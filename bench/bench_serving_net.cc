@@ -18,11 +18,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "serve/net/client.h"
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
   std::vector<double> latencies_ms;
   double latency_seconds = 0.0;
   {
-    std::mutex mu;
+    Mutex mu;
     std::vector<std::thread> threads;
     std::atomic<bool> failed{false};
     Stopwatch sw;
@@ -191,7 +191,7 @@ int main(int argc, char** argv) {
           }
           local.push_back(rt.ElapsedMillis());
         }
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
       });
     }

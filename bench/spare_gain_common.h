@@ -15,6 +15,8 @@ namespace k2::bench {
 inline int RunSpareGainFigure(const std::string& title,
                               const std::vector<int>& worker_counts) {
   PrintBanner(title);
+  // k2-lint: allow(bench-key-hardware-independent): banner print only;
+  // worker counts in the recorded rows come from the explicit sweep list.
   std::cout << "hardware threads available: "
             << std::thread::hardware_concurrency() << "\n\n";
 

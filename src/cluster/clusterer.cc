@@ -10,16 +10,16 @@ namespace k2 {
 
 Status LockedScanTimestamp(Store* store, Timestamp t,
                            std::vector<SnapshotPoint>* out,
-                           std::mutex* store_mu) {
+                           Mutex* store_mu) {
   if (store_mu == nullptr) return store->ScanTimestamp(t, out);
-  std::lock_guard<std::mutex> lock(*store_mu);
+  MutexLock lock(*store_mu);
   return store->ScanTimestamp(t, out);
 }
 
 Status LockedGetPoints(Store* store, Timestamp t, const ObjectSet& objects,
-                       std::vector<SnapshotPoint>* out, std::mutex* store_mu) {
+                       std::vector<SnapshotPoint>* out, Mutex* store_mu) {
   if (store_mu == nullptr) return store->GetPoints(t, objects, out);
-  std::lock_guard<std::mutex> lock(*store_mu);
+  MutexLock lock(*store_mu);
   return store->GetPoints(t, objects, out);
 }
 
@@ -35,7 +35,7 @@ Status GeometricClusterer::ValidateParams(const MiningParams& params) const {
 
 Result<std::vector<ObjectSet>> GeometricClusterer::Cluster(
     Store* store, Timestamp t, const MiningParams& params,
-    SnapshotScratch* scratch, std::mutex* store_mu) const {
+    SnapshotScratch* scratch, Mutex* store_mu) const {
   K2_RETURN_NOT_OK(LockedScanTimestamp(store, t, &scratch->points, store_mu));
   return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);
 }
@@ -43,7 +43,7 @@ Result<std::vector<ObjectSet>> GeometricClusterer::Cluster(
 Result<std::vector<ObjectSet>> GeometricClusterer::ReCluster(
     Store* store, Timestamp t, const ObjectSet& objects,
     const MiningParams& params, SnapshotScratch* scratch,
-    std::mutex* store_mu) const {
+    Mutex* store_mu) const {
   K2_RETURN_NOT_OK(
       LockedGetPoints(store, t, objects, &scratch->points, store_mu));
   return Dbscan(scratch->points, params.eps, params.m, &scratch->dbscan);

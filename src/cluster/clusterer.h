@@ -21,12 +21,12 @@
 #ifndef K2_CLUSTER_CLUSTERER_H_
 #define K2_CLUSTER_CLUSTERER_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/dbscan.h"
 #include "cluster/graph_core.h"
+#include "common/mutex.h"
 #include "common/object_set.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -66,14 +66,14 @@ class SnapshotClusterer {
   /// order, size >= params.m).
   virtual Result<std::vector<ObjectSet>> Cluster(
       Store* store, Timestamp t, const MiningParams& params,
-      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const = 0;
+      SnapshotScratch* scratch, Mutex* store_mu = nullptr) const = 0;
 
   /// reCluster(DB[t]|O): the restricted path — fetches only the points of
   /// `objects` at `t` (random point reads) and clusters them.
   virtual Result<std::vector<ObjectSet>> ReCluster(
       Store* store, Timestamp t, const ObjectSet& objects,
       const MiningParams& params, SnapshotScratch* scratch,
-      std::mutex* store_mu = nullptr) const = 0;
+      Mutex* store_mu = nullptr) const = 0;
 };
 
 /// The default substrate: point-radius DBSCAN over coordinates, identical
@@ -84,11 +84,11 @@ class GeometricClusterer final : public SnapshotClusterer {
   Status ValidateParams(const MiningParams& params) const override;
   Result<std::vector<ObjectSet>> Cluster(
       Store* store, Timestamp t, const MiningParams& params,
-      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const override;
+      SnapshotScratch* scratch, Mutex* store_mu = nullptr) const override;
   Result<std::vector<ObjectSet>> ReCluster(
       Store* store, Timestamp t, const ObjectSet& objects,
       const MiningParams& params, SnapshotScratch* scratch,
-      std::mutex* store_mu = nullptr) const override;
+      Mutex* store_mu = nullptr) const override;
 };
 
 /// The process-wide default clusterer (a static GeometricClusterer, unless
@@ -110,9 +110,9 @@ Status ValidateMiningParams(const MiningParams& params);
 // `store_mu` when non-null (Store implementations are not thread-safe).
 Status LockedScanTimestamp(Store* store, Timestamp t,
                            std::vector<SnapshotPoint>* out,
-                           std::mutex* store_mu);
+                           Mutex* store_mu);
 Status LockedGetPoints(Store* store, Timestamp t, const ObjectSet& objects,
-                       std::vector<SnapshotPoint>* out, std::mutex* store_mu);
+                       std::vector<SnapshotPoint>* out, Mutex* store_mu);
 
 }  // namespace k2
 

@@ -83,7 +83,7 @@ std::vector<ObjectSet> ClusterFetched(std::span<const SnapshotPoint> points,
 
 Result<std::vector<ObjectSet>> CoLocationGraphClusterer::Cluster(
     Store* store, Timestamp t, const MiningParams& params,
-    SnapshotScratch* scratch, std::mutex* store_mu) const {
+    SnapshotScratch* scratch, Mutex* store_mu) const {
   K2_RETURN_NOT_OK(LockedScanTimestamp(store, t, &scratch->points, store_mu));
   BuildInducedAdjacency(scratch->points, log_->EdgesAt(t), scratch);
   return GraphClusters(scratch->graph.oids, scratch->graph.adj_offsets,
@@ -93,7 +93,7 @@ Result<std::vector<ObjectSet>> CoLocationGraphClusterer::Cluster(
 Result<std::vector<ObjectSet>> CoLocationGraphClusterer::ReCluster(
     Store* store, Timestamp t, const ObjectSet& objects,
     const MiningParams& params, SnapshotScratch* scratch,
-    std::mutex* store_mu) const {
+    Mutex* store_mu) const {
   K2_RETURN_NOT_OK(
       LockedGetPoints(store, t, objects, &scratch->points, store_mu));
   BuildInducedAdjacency(scratch->points, log_->EdgesAt(t), scratch);
@@ -112,7 +112,7 @@ Status EpsGraphClusterer::ValidateParams(const MiningParams& params) const {
 
 Result<std::vector<ObjectSet>> EpsGraphClusterer::Cluster(
     Store* store, Timestamp t, const MiningParams& params,
-    SnapshotScratch* scratch, std::mutex* store_mu) const {
+    SnapshotScratch* scratch, Mutex* store_mu) const {
   K2_RETURN_NOT_OK(LockedScanTimestamp(store, t, &scratch->points, store_mu));
   return EpsGraphClusters(scratch->points, params.eps, params.m, scratch);
 }
@@ -120,7 +120,7 @@ Result<std::vector<ObjectSet>> EpsGraphClusterer::Cluster(
 Result<std::vector<ObjectSet>> EpsGraphClusterer::ReCluster(
     Store* store, Timestamp t, const ObjectSet& objects,
     const MiningParams& params, SnapshotScratch* scratch,
-    std::mutex* store_mu) const {
+    Mutex* store_mu) const {
   K2_RETURN_NOT_OK(
       LockedGetPoints(store, t, objects, &scratch->points, store_mu));
   return EpsGraphClusters(scratch->points, params.eps, params.m, scratch);

@@ -18,11 +18,11 @@
 #ifndef K2_CLUSTER_GRAPH_CLUSTERER_H_
 #define K2_CLUSTER_GRAPH_CLUSTERER_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/clusterer.h"
+#include "common/mutex.h"
 #include "model/proximity.h"
 
 namespace k2 {
@@ -37,11 +37,11 @@ class CoLocationGraphClusterer final : public SnapshotClusterer {
   std::string name() const override { return "colocation-graph"; }
   Result<std::vector<ObjectSet>> Cluster(
       Store* store, Timestamp t, const MiningParams& params,
-      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const override;
+      SnapshotScratch* scratch, Mutex* store_mu = nullptr) const override;
   Result<std::vector<ObjectSet>> ReCluster(
       Store* store, Timestamp t, const ObjectSet& objects,
       const MiningParams& params, SnapshotScratch* scratch,
-      std::mutex* store_mu = nullptr) const override;
+      Mutex* store_mu = nullptr) const override;
 
  private:
   const ProximityLog* log_;
@@ -57,11 +57,11 @@ class EpsGraphClusterer final : public SnapshotClusterer {
   Status ValidateParams(const MiningParams& params) const override;
   Result<std::vector<ObjectSet>> Cluster(
       Store* store, Timestamp t, const MiningParams& params,
-      SnapshotScratch* scratch, std::mutex* store_mu = nullptr) const override;
+      SnapshotScratch* scratch, Mutex* store_mu = nullptr) const override;
   Result<std::vector<ObjectSet>> ReCluster(
       Store* store, Timestamp t, const ObjectSet& objects,
       const MiningParams& params, SnapshotScratch* scratch,
-      std::mutex* store_mu = nullptr) const override;
+      Mutex* store_mu = nullptr) const override;
 };
 
 /// Builds the eps-graph of `points` into scratch->graph (CSR, self

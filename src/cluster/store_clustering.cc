@@ -14,7 +14,7 @@ SnapshotScratch* ThreadLocalSnapshotScratch() {
 Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
                                                const MiningParams& params,
                                                SnapshotScratch* scratch,
-                                               std::mutex* store_mu) {
+                                               Mutex* store_mu) {
   return ResolveClusterer(params)->Cluster(store, t, params, scratch,
                                            store_mu);
 }
@@ -28,7 +28,7 @@ Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
                                          const ObjectSet& objects,
                                          const MiningParams& params,
                                          SnapshotScratch* scratch,
-                                         std::mutex* store_mu) {
+                                         Mutex* store_mu) {
   return ResolveClusterer(params)->ReCluster(store, t, objects, params,
                                              scratch, store_mu);
 }

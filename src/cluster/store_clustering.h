@@ -7,10 +7,10 @@
 #ifndef K2_CLUSTER_STORE_CLUSTERING_H_
 #define K2_CLUSTER_STORE_CLUSTERING_H_
 
-#include <mutex>
 #include <vector>
 
 #include "cluster/clusterer.h"
+#include "common/mutex.h"
 #include "common/object_set.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -30,7 +30,7 @@ Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
 Result<std::vector<ObjectSet>> ClusterSnapshot(Store* store, Timestamp t,
                                                const MiningParams& params,
                                                SnapshotScratch* scratch,
-                                               std::mutex* store_mu = nullptr);
+                                               Mutex* store_mu = nullptr);
 
 /// reCluster(DB[t]|O): fetches only the points of `objects` at `t` (random
 /// point reads) and clusters them. This is the pruned access path.
@@ -41,7 +41,7 @@ Result<std::vector<ObjectSet>> ReCluster(Store* store, Timestamp t,
                                          const ObjectSet& objects,
                                          const MiningParams& params,
                                          SnapshotScratch* scratch,
-                                         std::mutex* store_mu = nullptr);
+                                         Mutex* store_mu = nullptr);
 
 }  // namespace k2
 

@@ -166,7 +166,7 @@ class FaultInjectionFile final : public WritableFile {
       : WritableFile(std::move(path)), env_(env), base_(std::move(base)) {}
 
   Status Append(const void* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(env_->mu_);
     if (env_->crashed_) return DeadEnvError();
     const uint64_t op = env_->op_count_++;
     const bool fire =
@@ -192,7 +192,7 @@ class FaultInjectionFile final : public WritableFile {
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(env_->mu_);
     K2_RETURN_NOT_OK(env_->BeforeOpLocked());
     K2_RETURN_NOT_OK(base_->Sync());
     auto& st = env_->files_[path_];
@@ -201,7 +201,7 @@ class FaultInjectionFile final : public WritableFile {
   }
 
   Status Close() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    MutexLock lock(env_->mu_);
     K2_RETURN_NOT_OK(env_->BeforeOpLocked());
     return base_->Close();
   }
@@ -216,7 +216,7 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
 void FaultInjectionEnv::ArmFault(FaultMode mode, uint64_t fail_at_op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   mode_ = mode;
   fail_at_op_ = fail_at_op;
   armed_ = mode != FaultMode::kNone;
@@ -225,22 +225,22 @@ void FaultInjectionEnv::ArmFault(FaultMode mode, uint64_t fail_at_op) {
 }
 
 uint64_t FaultInjectionEnv::op_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return op_count_;
 }
 
 bool FaultInjectionEnv::triggered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return triggered_;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return crashed_;
 }
 
 void FaultInjectionEnv::CrashNow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!crashed_) CrashLocked(std::string());
 }
 
@@ -286,7 +286,7 @@ void FaultInjectionEnv::CrashLocked(const std::string& torn_path) {
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     K2_RETURN_NOT_OK(BeforeOpLocked());
     files_[path] = FileState{};  // O_TRUNC semantics: fresh, nothing durable
   }
@@ -298,7 +298,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(BeforeOpLocked());
   K2_RETURN_NOT_OK(base_->RenameFile(from, to));
   auto it = files_.find(from);
@@ -310,7 +310,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(BeforeOpLocked());
   K2_RETURN_NOT_OK(base_->RemoveFile(path));
   files_.erase(path);
@@ -318,27 +318,27 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 }
 
 Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return DeadEnvError();
   return base_->CreateDirs(dir);
 }
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return false;
   return base_->FileExists(path);
 }
 
 Result<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return DeadEnvError();
   return base_->ReadFileToString(path);
 }
 
 Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
     const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (crashed_) return DeadEnvError();
   return base_->ListDir(dir);
 }

@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace k2 {
 
@@ -93,19 +94,19 @@ class FaultInjectionEnv final : public Env {
 
   /// Arms `mode` to fire at op number `fail_at_op` (0-based, counted from
   /// now on). Resets the trigger and the crashed state, not the op counter.
-  void ArmFault(FaultMode mode, uint64_t fail_at_op);
+  void ArmFault(FaultMode mode, uint64_t fail_at_op) K2_EXCLUDES(mu_);
 
   /// Total durability ops observed so far.
-  uint64_t op_count() const;
+  uint64_t op_count() const K2_EXCLUDES(mu_);
   /// True once the armed fault has fired.
-  bool triggered() const;
+  bool triggered() const K2_EXCLUDES(mu_);
   /// True once the simulated process state is dead (kCrash / kTornWrite
   /// fired, or CrashNow was called).
-  bool crashed() const;
+  bool crashed() const K2_EXCLUDES(mu_);
 
   /// Simulates a power cut right now: truncates every tracked file to its
   /// last synced size and fails all subsequent operations.
-  void CrashNow();
+  void CrashNow() K2_EXCLUDES(mu_);
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -128,18 +129,19 @@ class FaultInjectionEnv final : public Env {
   /// dead or this op is the armed failpoint (firing side effects included).
   /// `appending_path` is the file being appended when the op is an Append,
   /// so kTornWrite knows which file keeps a torn prefix.
-  Status BeforeOpLocked(const std::string& appending_path = std::string());
-  void CrashLocked(const std::string& torn_path);
+  Status BeforeOpLocked(const std::string& appending_path = std::string())
+      K2_REQUIRES(mu_);
+  void CrashLocked(const std::string& torn_path) K2_REQUIRES(mu_);
 
   Env* const base_;
-  mutable std::mutex mu_;
-  std::map<std::string, FileState> files_;
-  FaultMode mode_ = FaultMode::kNone;
-  uint64_t fail_at_op_ = 0;
-  uint64_t op_count_ = 0;
-  bool armed_ = false;
-  bool triggered_ = false;
-  bool crashed_ = false;
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ K2_GUARDED_BY(mu_);
+  FaultMode mode_ K2_GUARDED_BY(mu_) = FaultMode::kNone;
+  uint64_t fail_at_op_ K2_GUARDED_BY(mu_) = 0;
+  uint64_t op_count_ K2_GUARDED_BY(mu_) = 0;
+  bool armed_ K2_GUARDED_BY(mu_) = false;
+  bool triggered_ K2_GUARDED_BY(mu_) = false;
+  bool crashed_ K2_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace k2

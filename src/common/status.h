@@ -76,8 +76,11 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : repr_(std::move(value)) {}          // NOLINT(runtime/explicit)
-  Result(Status status) : repr_(std::move(status)) {}   // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `return value;` is the vocabulary of every fallible function.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): same conversion contract.
+  Result(Status status) : repr_(std::move(status)) {}
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
 

@@ -1,0 +1,95 @@
+// Clang thread-safety-analysis attribute macros (K2_GUARDED_BY and
+// friends). Under clang, `-Wthread-safety` turns these into compile-time
+// lock-discipline checks: a K2_GUARDED_BY(mu) field read without mu held, a
+// K2_REQUIRES(mu) function called without the lock, or a forgotten release
+// is a build error in the CI `thread-safety` job (-Werror=thread-safety).
+// Under every other compiler the macros expand to nothing, so gcc builds
+// are byte-identical to the unannotated code.
+//
+// The analysis only understands capabilities it can see: annotate with the
+// k2::Mutex / k2::MutexLock / k2::CondVar wrappers from common/mutex.h
+// (std::mutex itself carries no capability attributes, so locking it is
+// invisible to the analyzer). The attribute vocabulary and semantics are
+// the ones documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; the macro set
+// mirrors Abseil's base/thread_annotations.h so the patterns the analyzer
+// was built against apply verbatim.
+//
+// What the analysis can NOT see — single-writer contracts enforced by
+// counters instead of locks (serve/catalog.h's SnapshotCell), or
+// const-read paths that rely on external serialization (storage/store.h)
+// — is marked K2_NO_THREAD_SAFETY_ANALYSIS with a prose invariant at each
+// site and catalogued in docs/ARCHITECTURE.md ("Lock discipline").
+#ifndef K2_COMMON_THREAD_ANNOTATIONS_H_
+#define K2_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define K2_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define K2_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (lockable type). The string is the
+/// capability kind used in diagnostics, e.g. K2_CAPABILITY("mutex").
+#define K2_CAPABILITY(x) K2_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (std::lock_guard shape).
+#define K2_SCOPED_CAPABILITY K2_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the given capability.
+#define K2_GUARDED_BY(x) K2_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the pointed-to DATA (not the pointer itself) may only be
+/// dereferenced while holding the given capability.
+#define K2_PT_GUARDED_BY(x) K2_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention); attach to the mutex
+/// member that must be acquired before/after the listed ones.
+#define K2_ACQUIRED_BEFORE(...) \
+  K2_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define K2_ACQUIRED_AFTER(...) \
+  K2_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) on entry; the function
+/// neither acquires nor releases it. The "Locked" method suffix convention
+/// maps to this attribute.
+#define K2_REQUIRES(...) \
+  K2_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define K2_REQUIRES_SHARED(...) \
+  K2_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past the return.
+#define K2_ACQUIRE(...) K2_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define K2_ACQUIRE_SHARED(...) \
+  K2_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define K2_RELEASE(...) K2_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define K2_RELEASE_SHARED(...) \
+  K2_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value that means success, e.g. K2_TRY_ACQUIRE(true).
+#define K2_TRY_ACQUIRE(...) \
+  K2_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy / deadlock guard).
+#define K2_EXCLUDES(...) K2_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fatal if not); tells the
+/// analyzer to treat it as held from here on.
+#define K2_ASSERT_CAPABILITY(x) \
+  K2_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability (accessor pattern).
+#define K2_RETURN_CAPABILITY(x) K2_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off inside one function body. Every use MUST carry a
+/// prose comment stating the invariant that makes the unchecked access safe
+/// (scripts/lint_k2.py rejects naked uses), and the invariant belongs in
+/// the docs/ARCHITECTURE.md lock-discipline table.
+#define K2_NO_THREAD_SAFETY_ANALYSIS \
+  K2_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // K2_COMMON_THREAD_ANNOTATIONS_H_

@@ -39,10 +39,10 @@ ThreadPool::~ThreadPool() {
     // Same lost-wakeup guard as Submit: setting stop_ under wake_mu_ means
     // a worker between its wait-predicate check and its sleep cannot miss
     // the shutdown notification.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_.store(true);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -59,21 +59,21 @@ void ThreadPool::Submit(std::function<void()> task) {
   // dips to zero while a task exists, which is what Wait() relies on.
   queued_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
     // Empty critical section pairs with the wait predicate: a worker between
     // its predicate check and its sleep cannot miss this notification.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopFrom(size_t queue_index, bool lifo,
                          std::function<void()>* task) {
   WorkerQueue& q = *queues_[queue_index];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.tasks.empty()) return false;
   if (lifo) {
     *task = std::move(q.tasks.back());
@@ -100,8 +100,8 @@ bool ThreadPool::TryRunOneTask(size_t self) {
   task();
   if (inflight_.fetch_sub(1, std::memory_order_release) == 1 &&
       queued_.load(std::memory_order_acquire) == 0) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(wake_mu_);
+    idle_cv_.NotifyAll();
   }
   return true;
 }
@@ -111,11 +111,11 @@ void ThreadPool::WorkerMain(size_t index) {
   tls_worker = index;
   while (true) {
     if (TryRunOneTask(index)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(wake_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           queued_.load(std::memory_order_acquire) == 0) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;
@@ -126,11 +126,11 @@ void ThreadPool::WorkerMain(size_t index) {
 void ThreadPool::Wait() {
   // Calling from a worker would self-deadlock; workers never need Wait()
   // because ParallelFor tracks its own completion.
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  idle_cv_.wait(lock, [this] {
-    return queued_.load(std::memory_order_acquire) == 0 &&
-           inflight_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(wake_mu_);
+  while (queued_.load(std::memory_order_acquire) != 0 ||
+         inflight_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.Wait(wake_mu_);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -140,9 +140,9 @@ void ThreadPool::ParallelFor(size_t n,
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     size_t n = 0;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error K2_GUARDED_BY(mu);
   };
   if (tls_pool == this || tls_in_parallel_for) {
     // Nested ParallelFor (from a pool task, or from the calling thread's
@@ -169,13 +169,13 @@ void ThreadPool::ParallelFor(size_t n,
       try {
         fn(slot, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (state->error == nullptr) state->error = std::current_exception();
       }
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
     tls_in_parallel_for = prev_in;
@@ -191,10 +191,10 @@ void ThreadPool::ParallelFor(size_t n,
     Submit([run, h] { run(h + 1); });
   }
   run(0);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->cv.Wait(state->mu);
+  }
   if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 

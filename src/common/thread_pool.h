@@ -8,14 +8,15 @@
 #define K2_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace k2 {
 
@@ -36,7 +37,7 @@ class ThreadPool {
 
   /// Enqueues a fire-and-forget task. Called from inside a pool task, the
   /// submission lands on the submitting worker's own deque.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) K2_EXCLUDES(wake_mu_);
 
   /// Enqueues a task whose result (or exception) is delivered via a future.
   template <typename F>
@@ -56,30 +57,34 @@ class ThreadPool {
   /// invocation's slot — slot-keyed scratch stays exclusive to one thread.
   /// The first exception thrown by fn is rethrown here after all indices
   /// completed.
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
+      K2_EXCLUDES(wake_mu_);
 
   /// Convenience overload without the slot id.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      K2_EXCLUDES(wake_mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() K2_EXCLUDES(wake_mu_);
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks K2_GUARDED_BY(mu);
   };
 
-  void WorkerMain(size_t index);
-  bool TryRunOneTask(size_t self);
+  void WorkerMain(size_t index) K2_EXCLUDES(wake_mu_);
+  bool TryRunOneTask(size_t self) K2_EXCLUDES(wake_mu_);
   bool PopFrom(size_t queue_index, bool lifo, std::function<void()>* task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable idle_cv_;
+  // Lock order: a thread never holds wake_mu_ and a WorkerQueue::mu at the
+  // same time (push/pop finish before the wake/idle handshake starts).
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  CondVar idle_cv_;
   std::atomic<size_t> queued_{0};    // tasks sitting in some deque
   std::atomic<size_t> inflight_{0};  // tasks popped but not yet finished
   std::atomic<bool> stop_{false};

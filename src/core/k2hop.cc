@@ -82,7 +82,7 @@ Result<std::vector<ObjectSet>> HwmtSpanning(
     Store* store, const MiningParams& params, Timestamp b_left,
     Timestamp b_right, const std::vector<ObjectSet>& candidates,
     bool binary_order, bool verify_right_benchmark, SnapshotScratch* scratch,
-    std::mutex* store_mu) {
+    Mutex* store_mu) {
   std::vector<ObjectSet> surviving = candidates;
   if (surviving.empty()) return surviving;
   std::optional<SnapshotScratch> local_scratch;
@@ -273,12 +273,15 @@ Result<std::vector<Convoy>> ExtendLeft(Store* store, const MiningParams& params,
   return ExtendDirected(store, params, std::move(convoys), dataset_start, -1);
 }
 
+// k2-lint: allow(validate-mining-params): internal pipeline stage — the
+// public entries (MineK2Hop, MinePartitionedK2Hop) validate before
+// dispatching here, and the DCHECK below restates the contract.
 Status MineHopWindows(Store* store, const MiningParams& params,
                       std::span<const Timestamp> benchmarks,
                       const K2HopOptions& options,
                       std::vector<std::vector<ObjectSet>>* spanning,
                       HopWindowPipelineStats* stats, ThreadPool* pool,
-                      std::mutex* store_mu,
+                      Mutex* store_mu,
                       std::vector<SnapshotScratch>* scratches) {
   // Entry-point validation (ValidateMiningParams) happened in the caller;
   // shard drivers reaching this directly must uphold the same contract.
@@ -389,7 +392,7 @@ Result<std::vector<Convoy>> MineK2Hop(Store* store, const MiningParams& params,
   if (options.num_threads <= 0 && store->num_points() < 65536) threads = 1;
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads - 1);
-  std::mutex store_mu;
+  Mutex store_mu;
   std::vector<SnapshotScratch> scratches(static_cast<size_t>(threads));
 
   // Steps 1–3: the per-window pipeline over the full benchmark grid.

@@ -7,7 +7,6 @@
 #ifndef K2_CORE_K2HOP_H_
 #define K2_CORE_K2HOP_H_
 
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -16,6 +15,7 @@
 #include "baselines/validation.h"
 #include "cluster/store_clustering.h"
 #include "common/convoy.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/types.h"
@@ -120,7 +120,7 @@ Status MineHopWindows(Store* store, const MiningParams& params,
                       const K2HopOptions& options,
                       std::vector<std::vector<ObjectSet>>* spanning,
                       HopWindowPipelineStats* stats = nullptr,
-                      ThreadPool* pool = nullptr, std::mutex* store_mu = nullptr,
+                      ThreadPool* pool = nullptr, Mutex* store_mu = nullptr,
                       std::vector<SnapshotScratch>* scratches = nullptr);
 
 /// HWMT (Algorithm 2): verifies candidates at every tick strictly inside
@@ -133,7 +133,7 @@ Result<std::vector<ObjectSet>> HwmtSpanning(
     Store* store, const MiningParams& params, Timestamp b_left,
     Timestamp b_right, const std::vector<ObjectSet>& candidates,
     bool binary_order = true, bool verify_right_benchmark = false,
-    SnapshotScratch* scratch = nullptr, std::mutex* store_mu = nullptr);
+    SnapshotScratch* scratch = nullptr, Mutex* store_mu = nullptr);
 
 /// DCM merge (Sec. 4.4): folds per-window spanning convoys left to right
 /// into maximal spanning convoys. `spanning[i]` spans

@@ -1,12 +1,12 @@
 #include "core/partition.h"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace k2 {
@@ -95,10 +95,10 @@ Result<std::vector<Convoy>> PartitionedK2HopMiner::Mine() {
   std::vector<IoStats> snapshot_before(slots);
   std::vector<std::vector<SnapshotScratch>> slot_scratch(slots);
   for (size_t i = 0; i < slots; ++i) slot_scratch[i].resize(1);
-  std::mutex snapshot_create_mu;
+  Mutex snapshot_create_mu;
   auto slot_store = [&](size_t slot) -> Result<Store*> {
     if (snapshots[slot] == nullptr) {
-      std::lock_guard<std::mutex> lock(snapshot_create_mu);
+      MutexLock lock(snapshot_create_mu);
       K2_ASSIGN_OR_RETURN(snapshots[slot], store_->CreateReadSnapshot());
       snapshot_before[slot] = snapshots[slot]->io_stats();
     }
@@ -287,6 +287,8 @@ Result<std::vector<Convoy>> PartitionedK2HopMiner::Mine() {
   return result;
 }
 
+// k2-lint: allow(validate-mining-params): the wrapped
+// PartitionedK2HopMiner::Mine() validates as its first statement.
 Result<std::vector<Convoy>> MinePartitionedK2Hop(
     Store* store, const MiningParams& params,
     const PartitionedK2HopOptions& options, PartitionedK2HopStats* stats) {

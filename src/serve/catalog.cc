@@ -8,7 +8,12 @@
 namespace k2 {
 namespace detail {
 
-std::shared_ptr<const CatalogSnapshot> SnapshotCell::Load() const {
+// Invariant (analysis off): the ingress bump + active_ re-check guarantee
+// the writer cannot begin overwriting slot s before our egress bump — the
+// copy of `snap` below races with nothing. This function and Store() are
+// the only two accessors the Slot capability admits; see the class comment.
+std::shared_ptr<const CatalogSnapshot> SnapshotCell::Load() const
+    K2_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     const int s = active_.load(std::memory_order_seq_cst);
     slots_[s].ingress.fetch_add(1, std::memory_order_seq_cst);
@@ -26,7 +31,13 @@ std::shared_ptr<const CatalogSnapshot> SnapshotCell::Load() const {
   }
 }
 
-void SnapshotCell::Store(std::shared_ptr<const CatalogSnapshot> next) {
+// Invariant (analysis off): K2_REQUIRES(writer_mu) makes us the only
+// writer, and the ingress/egress drain loop below orders every reader's
+// copy of the retired slot strictly before the overwrite — the write to
+// `snap` races with nothing.
+void SnapshotCell::Store(std::shared_ptr<const CatalogSnapshot> next,
+                         const Mutex& /*writer_mu: capability token only*/)
+    K2_NO_THREAD_SAFETY_ANALYSIS {
   const int retired = 1 - active_.load(std::memory_order_relaxed);
   // Wait out readers still inside the retired slot (they entered before the
   // previous toggle; each only holds the slot for one pointer copy). Their
@@ -108,14 +119,17 @@ bool CatalogSnapshot::RankBefore(ConvoyRank rank, ConvoyId a,
 
 ConvoyCatalog::ConvoyCatalog(CatalogOptions options)
     : options_(std::move(options)) {
-  // Epoch 0: an empty snapshot, so snapshot() is never null.
+  // Epoch 0: an empty snapshot, so snapshot() is never null. No other
+  // thread can exist yet, but Store demands the writer capability.
+  MutexLock lock(writer_mu_);
   snapshot_.Store(
-      std::shared_ptr<const CatalogSnapshot>(new CatalogSnapshot()));
+      std::shared_ptr<const CatalogSnapshot>(new CatalogSnapshot()),
+      writer_mu_);
 }
 
 Status ConvoyCatalog::AddConvoys(std::span<const Convoy> convoys,
                                  Store* store) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   for (const Convoy& convoy : convoys) {
     K2_RETURN_NOT_OK(AddLocked(convoy, store));
   }
@@ -123,7 +137,7 @@ Status ConvoyCatalog::AddConvoys(std::span<const Convoy> convoys,
 }
 
 Status ConvoyCatalog::AddConvoy(const Convoy& convoy, Store* store) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return AddLocked(convoy, store);
 }
 
@@ -137,7 +151,7 @@ Status ConvoyCatalog::AddLocked(const Convoy& convoy, Store* store) {
 
 Status ConvoyCatalog::ReplaceAll(std::span<const Convoy> convoys,
                                  Store* store) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   // Build the replacement aside (copying reusable footprints) so an error
   // mid-way leaves the current content untouched.
   std::map<Convoy, std::vector<FootprintPoint>> next;
@@ -175,7 +189,7 @@ Status ConvoyCatalog::ComputeFootprint(const Convoy& convoy, Store* store,
 }
 
 std::shared_ptr<const CatalogSnapshot> ConvoyCatalog::Publish() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return PublishLocked();
 }
 
@@ -264,17 +278,17 @@ std::shared_ptr<const CatalogSnapshot> ConvoyCatalog::PublishLocked() {
             });
 
   std::shared_ptr<const CatalogSnapshot> published = std::move(snap);
-  snapshot_.Store(published);
+  snapshot_.Store(published, writer_mu_);
   return published;
 }
 
 size_t ConvoyCatalog::pending_size() const {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return entries_.size();
 }
 
 Status ConvoyCatalog::hook_status() const {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return hook_status_;
 }
 
@@ -282,7 +296,7 @@ std::function<void(const Convoy&)> ConvoyCatalog::OnClosedHook(
     Store* store, size_t publish_every) {
   return [this, store, publish_every, ingested = size_t{0}](
              const Convoy& convoy) mutable {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     const Status status = AddLocked(convoy, store);
     if (!status.ok()) {
       if (hook_status_.ok()) hook_status_ = status;

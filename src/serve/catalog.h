@@ -37,14 +37,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/grid_index.h"
 #include "common/convoy.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "storage/store.h"
 
@@ -155,20 +156,35 @@ namespace detail {
 /// index are seq_cst: the egress increment / drain load pair puts every
 /// reader's copy strictly before the writer's overwrite, and the toggle
 /// store / re-check load pair publishes the new snapshot to late entrants.
+///
+/// What the thread-safety analyzer sees of this: each Slot is a capability
+/// that is deliberately never acquirable, and `snap` is guarded by it — so
+/// under clang, the ONLY functions allowed to touch a slot's shared_ptr
+/// are Load() and Store() below, whose definitions carry an explicit
+/// K2_NO_THREAD_SAFETY_ANALYSIS plus the prose invariant that makes the
+/// unchecked access safe. The epoch protocol has exactly two doors, and
+/// adding a third is a compile error, not a review comment. Store()
+/// additionally demands the catalog's writer mutex as a capability token,
+/// machine-checking the single-writer half of the contract.
 class SnapshotCell {
  public:
   /// Wait-free unless the writer is toggling at this exact moment (then
   /// one retry). Never returns null once Store ran with a non-null value.
   std::shared_ptr<const CatalogSnapshot> Load() const;
 
-  /// Single writer only (the catalog's writer mutex). Blocks until the
-  /// retired slot's readers — those that entered before the PREVIOUS
-  /// toggle — have left; readers only hold a slot for a pointer copy.
-  void Store(std::shared_ptr<const CatalogSnapshot> next);
+  /// Single writer only: `writer_mu` is the catalog's writer mutex, taken
+  /// as a capability token so unserialized stores fail to compile. Blocks
+  /// until the retired slot's readers — those that entered before the
+  /// PREVIOUS toggle — have left; readers only hold a slot for a pointer
+  /// copy.
+  void Store(std::shared_ptr<const CatalogSnapshot> next,
+             const Mutex& writer_mu) K2_REQUIRES(writer_mu);
 
  private:
-  struct Slot {
-    std::shared_ptr<const CatalogSnapshot> snap;
+  struct K2_CAPABILITY("epoch-slot") Slot {
+    /// Readable/writable only through the counter protocol above; the
+    /// guard makes any access outside Load()/Store() a compile error.
+    std::shared_ptr<const CatalogSnapshot> snap K2_GUARDED_BY(this);
     mutable std::atomic<uint64_t> ingress{0};
     mutable std::atomic<uint64_t> egress{0};
   };
@@ -189,19 +205,22 @@ class ConvoyCatalog {
   /// footprint from `store` (GetPoints reads of the member objects over the
   /// sampled lifespan ticks); re-adding a known convoy is a no-op. Not
   /// visible to readers until Publish().
-  Status AddConvoys(std::span<const Convoy> convoys, Store* store);
-  Status AddConvoy(const Convoy& convoy, Store* store);
+  Status AddConvoys(std::span<const Convoy> convoys, Store* store)
+      K2_EXCLUDES(writer_mu_);
+  Status AddConvoy(const Convoy& convoy, Store* store)
+      K2_EXCLUDES(writer_mu_);
 
   /// Replaces the entire content with `convoys` — the reconcile step after
   /// OnlineK2HopMiner::Finalize(), whose authoritative result may drop an
   /// eagerly emitted convoy that ended up dominated. Footprints of convoys
   /// already in the catalog are reused, not recomputed. On error the
   /// catalog is unchanged. Publish() afterwards to expose the new content.
-  Status ReplaceAll(std::span<const Convoy> convoys, Store* store);
+  Status ReplaceAll(std::span<const Convoy> convoys, Store* store)
+      K2_EXCLUDES(writer_mu_);
 
   /// Builds a snapshot of the current writer state and atomically swaps it
   /// in as the new epoch; returns the published snapshot.
-  std::shared_ptr<const CatalogSnapshot> Publish();
+  std::shared_ptr<const CatalogSnapshot> Publish() K2_EXCLUDES(writer_mu_);
 
   /// The latest published snapshot (never null: epoch 0 is an empty
   /// snapshot). Lock-free; hold the pointer for snapshot-consistent reads.
@@ -211,11 +230,11 @@ class ConvoyCatalog {
 
   /// Convoys in the writer state (>= the published snapshot's size until
   /// the next Publish()).
-  size_t pending_size() const;
+  size_t pending_size() const K2_EXCLUDES(writer_mu_);
 
   /// First error swallowed by OnClosedHook (hooks cannot propagate Status);
   /// OK when none occurred.
-  Status hook_status() const;
+  Status hook_status() const K2_EXCLUDES(writer_mu_);
 
   /// An OnlineK2HopOptions::on_closed adapter: ingests every closed convoy
   /// (footprints read from `store`, the miner's own store — safe because
@@ -231,18 +250,21 @@ class ConvoyCatalog {
                                                   size_t publish_every = 1);
 
  private:
-  Status AddLocked(const Convoy& convoy, Store* store);
-  std::shared_ptr<const CatalogSnapshot> PublishLocked();
+  Status AddLocked(const Convoy& convoy, Store* store)
+      K2_REQUIRES(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> PublishLocked()
+      K2_REQUIRES(writer_mu_);
   Status ComputeFootprint(const Convoy& convoy, Store* store,
                           std::vector<FootprintPoint>* out) const;
 
   CatalogOptions options_;
-  mutable std::mutex writer_mu_;
+  mutable Mutex writer_mu_;
   /// Master state: convoy -> sampled footprint, in canonical order (which
   /// is what makes snapshot ids deterministic).
-  std::map<Convoy, std::vector<FootprintPoint>> entries_;
-  uint64_t epoch_ = 0;
-  Status hook_status_ = Status::OK();
+  std::map<Convoy, std::vector<FootprintPoint>> entries_
+      K2_GUARDED_BY(writer_mu_);
+  uint64_t epoch_ K2_GUARDED_BY(writer_mu_) = 0;
+  Status hook_status_ K2_GUARDED_BY(writer_mu_) = Status::OK();
   detail::SnapshotCell snapshot_;
 };
 

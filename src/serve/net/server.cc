@@ -12,10 +12,11 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "core/online.h"
 #include "serve/catalog.h"
 #include "serve/query.h"
@@ -61,12 +62,18 @@ struct K2Server::Impl {
 
   // The serving state every worker shares. Queries go through
   // catalog.snapshot() (lock-free); everything touching the single-writer
-  // miner or the catalog's write side serializes on ingest_mu.
+  // miner or the catalog's write side serializes on ingest_mu. The store is
+  // mutated only through the miner (AppendTick under ingest_mu) and read by
+  // the catalog's footprint path inside the same critical sections, so it
+  // needs no guard of its own. See docs/ARCHITECTURE.md, "Lock discipline".
   MemoryStore store;
   ConvoyCatalog catalog;
-  std::unique_ptr<OnlineK2HopMiner> miner;
-  std::mutex ingest_mu;
-  Status serving_status = Status::OK();  ///< guarded by ingest_mu
+  Mutex ingest_mu;
+  /// Set once in Start() before any worker exists, then only dereferenced
+  /// under ingest_mu; the guard documents (and under clang enforces) the
+  /// single-writer serialization of every miner call.
+  std::unique_ptr<OnlineK2HopMiner> miner K2_GUARDED_BY(ingest_mu);
+  Status serving_status K2_GUARDED_BY(ingest_mu) = Status::OK();
 
   ~Impl() {
     for (int fd : listen_fds)
@@ -108,7 +115,7 @@ struct K2Server::Impl {
     const auto snap = catalog.snapshot();
     stats.epoch = snap->epoch();
     stats.catalog_convoys = snap->size();
-    std::lock_guard<std::mutex> lock(ingest_mu);
+    MutexLock lock(ingest_mu);
     stats.frontier = miner->frontier();
     stats.ticks_ingested = miner->stats().ticks_ingested;
     stats.closed_convoys = miner->closed_convoys().size();
@@ -129,7 +136,7 @@ struct K2Server::Impl {
     }
     IngestAck ack;
     {
-      std::lock_guard<std::mutex> lock(ingest_mu);
+      MutexLock lock(ingest_mu);
       if (!serving_status.ok()) {
         ReplyError(conn, frame.request_id, WireError::kInternalError,
                    serving_status.ToString(), /*fatal=*/false);
@@ -164,7 +171,7 @@ struct K2Server::Impl {
   void HandlePublish(Connection* conn, const Frame& frame) {
     PublishAck ack;
     {
-      std::lock_guard<std::mutex> lock(ingest_mu);
+      MutexLock lock(ingest_mu);
       const auto snap = catalog.Publish();
       ack.epoch = snap->epoch();
       ack.convoys = snap->size();
@@ -530,8 +537,12 @@ Result<std::unique_ptr<K2Server>> K2Server::Start(K2ServerOptions options) {
   OnlineK2HopOptions mining;
   mining.on_closed =
       impl->catalog.OnClosedHook(&impl->store, options.publish_every);
-  impl->miner = std::make_unique<OnlineK2HopMiner>(&impl->store,
-                                                   options.params, mining);
+  {
+    // No worker thread exists yet; the lock satisfies miner's guard.
+    MutexLock lock(impl->ingest_mu);
+    impl->miner = std::make_unique<OnlineK2HopMiner>(&impl->store,
+                                                     options.params, mining);
+  }
   // Epoch 1 exists before the first ingest, so early readers pin an empty
   // published snapshot instead of racing the first on_closed publish.
   impl->catalog.Publish();
@@ -564,7 +575,7 @@ void K2Server::Wait() {
 int K2Server::shutdown_fd() const { return impl_->shutdown_eventfd; }
 
 Status K2Server::serving_status() const {
-  std::lock_guard<std::mutex> lock(impl_->ingest_mu);
+  MutexLock lock(impl_->ingest_mu);
   return impl_->serving_status;
 }
 

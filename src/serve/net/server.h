@@ -10,7 +10,11 @@
 // lock-free SnapshotCell read path (one pinned snapshot per request);
 // ingest-side messages (kIngest/kPublish, and kStats' miner counters)
 // serialize on one mutex around the single OnlineK2HopMiner + catalog
-// writer, exactly matching the miner's single-writer contract.
+// writer, exactly matching the miner's single-writer contract. That mutex
+// (Impl::ingest_mu) and every other lock in the tree are annotated for
+// clang's thread-safety analysis and tabulated — guards, acquisition
+// order, and the lock-free reader invariant — in docs/ARCHITECTURE.md,
+// section "Lock discipline".
 //
 // Shutdown. RequestShutdown() (also triggered by a kShutdown message or
 // the binary's SIGINT/SIGTERM handler) stops all accepting, then each

@@ -165,6 +165,8 @@ Result<std::unique_ptr<SSTable>> SSTable::Open(const std::string& path,
   table->path_ = path;
   table->seq_ = seq;
   table->stats_ = stats;
+  // k2-lint: allow(lsm-io-through-env): read path — Env only shims
+  // write-path IO for fault injection; reads go straight to libc + mmap.
   table->file_ = std::fopen(path.c_str(), "rb");
   if (table->file_ == nullptr) {
     return Status::IOError("cannot open " + path + ": " +

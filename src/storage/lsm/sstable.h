@@ -115,6 +115,12 @@ class SSTable {
   /// the MANIFEST does. Drives the per-tier fan-out counters in IoStats.
   uint32_t tier() const { return tier_; }
   void set_tier(uint32_t tier) { tier_ = tier; }
+  /// Redirects all future IO accounting to `stats` (which must outlive this
+  /// table). The store's flush/compaction jobs open freshly built tables
+  /// against a job-local IoStats while the store mutex is dropped, then
+  /// re-point the handle at the store's shared counters once they re-hold
+  /// the lock — Open-time reads must never charge shared stats unlocked.
+  void set_io_sink(IoStats* stats) { stats_ = stats; }
   bool Overlaps(uint64_t lo, uint64_t hi) const {
     return num_entries_ > 0 && lo <= max_key_ && hi >= min_key_;
   }

@@ -222,8 +222,16 @@ LsmStore::LsmStore(std::string dir, Options options)
 }
 
 LsmStore::~LsmStore() {
-  if (worker_started_) StopWorker();
+  bool started;
+  {
+    MutexLock lock(mu_);
+    started = worker_started_;
+  }
+  if (started) StopWorker();
   // Best-effort close; the WAL's synced prefix is what survives regardless.
+  // The worker is joined, but the lock keeps the analyzer's guard on wal_
+  // honest (and costs nothing uncontended).
+  MutexLock lock(mu_);
   if (wal_ != nullptr) wal_->Close();
 }
 
@@ -236,6 +244,9 @@ std::string LsmStore::WalFilePath(uint64_t seq) const {
 }
 
 Status LsmStore::Recover() {
+  // Recovery runs single-threaded in the constructor, before the worker
+  // exists; the lock makes the Locked helpers callable and is uncontended.
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(env_->CreateDirs(dir_));
   memtable_ = std::make_unique<lsm::SkipList>();
 
@@ -409,31 +420,31 @@ void LsmStore::ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y) {
 }
 
 Status LsmStore::Put(Timestamp t, ObjectId oid, double x, double y) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(WritableLocked());
   const std::vector<SnapshotPoint> one{SnapshotPoint{oid, x, y}};
   K2_RETURN_NOT_OK(WalAppendLocked(t, one, /*sync=*/false));
   ApplyPutLocked(t, oid, x, y);
-  return MaybeRotateLocked(lock);
+  return MaybeRotateLocked();
 }
 
 Status LsmStore::Append(Timestamp t, const std::vector<SnapshotPoint>& points) {
   K2_RETURN_NOT_OK(init_status_);
   K2_RETURN_NOT_OK(CheckAppend(t, points));
   if (points.empty()) return Status::OK();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(WritableLocked());
   // WAL first (synced by default): the tick is durable before the memtable
   // sees it, and an error leaves the store exactly as it was.
   K2_RETURN_NOT_OK(
       WalAppendLocked(t, points, options_.wal_sync_every_append));
   for (const SnapshotPoint& p : points) ApplyPutLocked(t, p.oid, p.x, p.y);
-  return MaybeRotateLocked(lock);
+  return MaybeRotateLocked();
 }
 
-Status LsmStore::MaybeRotateLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::MaybeRotateLocked() {
   if (memtable_->size() >= options_.memtable_limit) {
-    return RotateMemtableLocked(lock);
+    return RotateMemtableLocked();
   }
   if (options_.wal.segment_bytes > 0 && wal_ != nullptr &&
       wal_->bytes_written() >= options_.wal.segment_bytes) {
@@ -461,7 +472,7 @@ Status LsmStore::RotateWalSegmentLocked() {
   return s;
 }
 
-Status LsmStore::RotateMemtableLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::RotateMemtableLocked() {
   if (memtable_->empty()) return Status::OK();
   // Seal the segment feeding this memtable (flush the writer's buffer; the
   // synced prefix is already safe, and the table the flush job publishes
@@ -482,40 +493,40 @@ Status LsmStore::RotateMemtableLocked(std::unique_lock<std::mutex>& lock) {
     return s;
   }
   if (options_.background_compaction && worker_started_) {
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     // Backpressure: let the worker catch up before queueing more.
-    drain_cv_.wait(lock, [&] {
-      return pending_.size() <= options_.max_pending_memtables ||
-             !write_error_.ok() || stop_;
-    });
+    while (pending_.size() > options_.max_pending_memtables &&
+           write_error_.ok() && !stop_) {
+      drain_cv_.Wait(mu_);
+    }
     return write_error_;
   }
-  return DrainLocked(lock);
+  return DrainLocked();
 }
 
-Status LsmStore::DrainLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::DrainLocked() {
   if (options_.background_compaction && worker_started_) {
-    drain_cv_.wait(lock, [&] {
-      return (pending_.empty() && !worker_busy_) || !write_error_.ok();
-    });
+    while (!(pending_.empty() && !worker_busy_) && write_error_.ok()) {
+      drain_cv_.Wait(mu_);
+    }
     return write_error_;
   }
   while (write_error_.ok() && !pending_.empty()) {
-    Status s = FlushFrontLocked(lock);
-    if (s.ok()) s = CompactLocked(lock);
+    Status s = FlushFrontLocked();
+    if (s.ok()) s = CompactLocked();
     if (!s.ok()) write_error_ = s;
   }
   return write_error_;
 }
 
 Status LsmStore::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(WritableLocked());
-  K2_RETURN_NOT_OK(RotateMemtableLocked(lock));
-  return DrainLocked(lock);
+  K2_RETURN_NOT_OK(RotateMemtableLocked());
+  return DrainLocked();
 }
 
-Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::FlushFrontLocked() {
   if (pending_.empty()) return Status::OK();
   // The job stays in pending_ (readers keep seeing it) until the table is
   // installed; only this thread consumes the queue, so the front is stable
@@ -524,7 +535,7 @@ Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
   const uint64_t table_seq = next_seq_++;
   const std::string path = TableFilePath(table_seq);
 
-  lock.unlock();
+  mu_.Unlock();
   SSTableBuilder builder(env_, path);
   builder.Reserve(job.mem->size());
   Status s;
@@ -533,16 +544,22 @@ Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
   });
   if (s.ok()) s = builder.Finish();
   std::unique_ptr<SSTable> table;
+  // Open against a job-local IoStats: io_stats_ is shared with foreground
+  // reads that charge it under mu_, and the lock is dropped here. The handle
+  // is re-pointed at io_stats_ once the lock is re-held, below.
+  IoStats open_io;
   if (s.ok()) {
-    auto opened = SSTable::Open(path, table_seq, &io_stats_);
+    auto opened = SSTable::Open(path, table_seq, &open_io);
     if (opened.ok()) {
       table = opened.MoveValue();
     } else {
       s = opened.status();
     }
   }
-  lock.lock();
+  mu_.Lock();
   if (!s.ok()) return s;
+  io_stats_.Accumulate(open_io);
+  table->set_io_sink(&io_stats_);
 
   if (tiers_.empty()) tiers_.emplace_back();
   table->set_tier(0);  // fresh flushes always enter the newest tier
@@ -558,7 +575,7 @@ Status LsmStore::FlushFrontLocked(std::unique_lock<std::mutex>& lock) {
   return Status::OK();
 }
 
-Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::CompactLocked() {
   for (size_t tier = 0; tier < tiers_.size(); ++tier) {
     if (tiers_[tier].size() < options_.tier_fanout) continue;
 
@@ -576,12 +593,13 @@ Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
     const uint64_t out_seq = next_seq_++;
     const std::string out_path = TableFilePath(out_seq);
 
-    lock.unlock();
+    mu_.Unlock();
     // Merge through private handles so the foreground's table handles (with
     // their mutable block caches) are never shared across threads. Sort-based
     // merge: materialize (key, seq, value), keep the newest version of each
     // key. Table sizes at our scales fit comfortably in memory.
     IoStats merge_io;
+    IoStats open_io;  // Open-time reads of the merged table (query-path IO)
     struct Row {
       uint64_t key;
       uint64_t seq;
@@ -619,7 +637,9 @@ Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
       }
       if (s.ok()) s = builder.Finish();
       if (s.ok()) {
-        auto opened = SSTable::Open(out_path, out_seq, &io_stats_);
+        // Same unlocked-Open rule as the flush job: charge a local IoStats,
+        // fold into the shared counters under the lock below.
+        auto opened = SSTable::Open(out_path, out_seq, &open_io);
         if (opened.ok()) {
           merged = opened.MoveValue();
         } else {
@@ -627,9 +647,11 @@ Status LsmStore::CompactLocked(std::unique_lock<std::mutex>& lock) {
         }
       }
     }
-    lock.lock();
+    mu_.Lock();
     bg_io_.Accumulate(merge_io);
     if (!s.ok()) return s;
+    io_stats_.Accumulate(open_io);
+    merged->set_io_sink(&io_stats_);
 
     std::vector<std::unique_ptr<SSTable>> graveyard;
     graveyard.swap(tiers_[tier]);
@@ -661,33 +683,39 @@ void LsmStore::RebuildFlatViewLocked() {
 // ---------------------------------------------------------------------------
 
 void LsmStore::StartWorker() {
-  worker_started_ = true;
+  {
+    // worker_started_ is read under mu_ by the rotate/drain paths; setting
+    // it unlocked in the constructor was benign only because no other
+    // thread exists yet — the guard keeps the rule uniform.
+    MutexLock lock(mu_);
+    worker_started_ = true;
+  }
   worker_ = std::thread([this] { WorkerMain(); });
 }
 
 void LsmStore::StopWorker() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
-  drain_cv_.notify_all();
+  work_cv_.NotifyAll();
+  drain_cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
 void LsmStore::WorkerMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (!pending_.empty() && write_error_.ok());
-    });
+    while (!stop_ && (pending_.empty() || !write_error_.ok())) {
+      work_cv_.Wait(mu_);
+    }
     if (stop_) return;  // queued data stays recoverable through the WAL
     worker_busy_ = true;
-    Status s = FlushFrontLocked(lock);
-    if (s.ok()) s = CompactLocked(lock);
+    Status s = FlushFrontLocked();
+    if (s.ok()) s = CompactLocked();
     if (!s.ok()) write_error_ = s;
     worker_busy_ = false;
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -698,10 +726,10 @@ void LsmStore::WorkerMain() {
 Status LsmStore::BulkLoad(const Dataset& dataset) {
   K2_RETURN_NOT_OK(init_status_);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Let any in-flight background job finish, then reset all content —
     // including a sticky write error: a reload is a fresh start.
-    drain_cv_.wait(lock, [&] { return !worker_busy_; });
+    while (worker_busy_) drain_cv_.Wait(mu_);
     std::vector<std::string> doomed;
     for (const PendingMemtable& p : pending_) {
       for (uint64_t seq : p.wal_seqs) doomed.push_back(WalFilePath(seq));
@@ -739,13 +767,13 @@ Status LsmStore::BulkLoad(const Dataset& dataset) {
     if (!load.ok()) break;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bulk_loading_ = false;
   }
   K2_RETURN_NOT_OK(load);
   K2_RETURN_NOT_OK(Flush());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   num_points_ = dataset.num_points();
   // Loading routed every row through Put, so flush/compaction IO landed in
   // io_stats_ — reset, or the first mining run's pruning_ratio() would be
@@ -770,7 +798,7 @@ size_t LsmStore::CollectMemsLocked(const lsm::SkipList** mems) const {
 constexpr size_t kMaxReadMems = 8;
 
 Status LsmStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(init_status_);
   const lsm::SkipList* stack_mems[kMaxReadMems];
   std::vector<const lsm::SkipList*> heap_mems;
@@ -785,7 +813,7 @@ Status LsmStore::ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) {
 
 Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
                            std::vector<SnapshotPoint>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(init_status_);
   const lsm::SkipList* stack_mems[kMaxReadMems];
   std::vector<const lsm::SkipList*> heap_mems;
@@ -800,12 +828,12 @@ Status LsmStore::GetPoints(Timestamp t, const ObjectSet& objects,
 }
 
 Result<std::unique_ptr<Store>> LsmStore::CreateReadSnapshot() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   K2_RETURN_NOT_OK(init_status_);
   // Queued flushes must land first so the frozen run plus the table files
   // cover everything; a store with a sticky write error cannot guarantee
   // that, so snapshotting it fails with the same error.
-  K2_RETURN_NOT_OK(DrainLocked(lock));
+  K2_RETURN_NOT_OK(DrainLocked());
   SortedRun run;
   // ForEach visits in key order, so the run is born sorted.
   memtable_->ForEach(
@@ -822,49 +850,56 @@ Result<std::unique_ptr<Store>> LsmStore::CreateReadSnapshot() {
   return std::unique_ptr<Store>(std::move(snapshot));
 }
 
-TimeRange LsmStore::time_range() const {
+// Invariant (analysis off): tick_cache_ is written only by the external
+// writer thread under mu_ (never by the background worker), and the Store
+// contract forbids const metadata reads concurrent with a writer — so these
+// unlocked reads cannot race. See docs/ARCHITECTURE.md, "Lock discipline".
+TimeRange LsmStore::time_range() const K2_NO_THREAD_SAFETY_ANALYSIS {
   if (tick_cache_.empty()) return TimeRange{0, -1};
   return TimeRange{tick_cache_.front(), tick_cache_.back()};
 }
 
-const std::vector<Timestamp>& LsmStore::timestamps() const {
+// Invariant (analysis off): same unlocked const-read contract as
+// time_range() above.
+const std::vector<Timestamp>& LsmStore::timestamps() const
+    K2_NO_THREAD_SAFETY_ANALYSIS {
   return tick_cache_;
 }
 
 Status LsmStore::write_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return write_error_;
 }
 
 size_t LsmStore::num_sstables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& tier : tiers_) n += tier.size();
   return n;
 }
 
 size_t LsmStore::num_tiers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tiers_.size();
 }
 
 size_t LsmStore::active_wal_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_wal_seqs_.size();
 }
 
 size_t LsmStore::memtable_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return memtable_->size();
 }
 
 uint64_t LsmStore::compactions_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return compactions_run_;
 }
 
 IoStats LsmStore::background_io_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bg_io_;
 }
 

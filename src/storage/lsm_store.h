@@ -19,15 +19,15 @@
 #ifndef K2_STORAGE_LSM_STORE_H_
 #define K2_STORAGE_LSM_STORE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/lsm/manifest.h"
 #include "storage/lsm/skiplist.h"
 #include "storage/lsm/sstable.h"
@@ -84,46 +84,56 @@ class LsmStore final : public Store {
   /// returns, at which point the final Flush has published every row as
   /// SSTables + MANIFEST — stronger than WAL durability. A crash mid-load
   /// recovers some clean prefix of the dataset's rows.
-  Status BulkLoad(const Dataset& dataset) override;
-  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override;
-  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override;
+  Status BulkLoad(const Dataset& dataset) override K2_EXCLUDES(mu_);
+  Status Append(Timestamp t, const std::vector<SnapshotPoint>& points) override
+      K2_EXCLUDES(mu_);
+  Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override
+      K2_EXCLUDES(mu_);
   Status GetPoints(Timestamp t, const ObjectSet& objects,
-                   std::vector<SnapshotPoint>* out) override;
+                   std::vector<SnapshotPoint>* out) override K2_EXCLUDES(mu_);
   TimeRange time_range() const override;
   const std::vector<Timestamp>& timestamps() const override;
-  uint64_t num_points() const override { return num_points_; }
+  // Invariant (analysis off): num_points_ is written only by the external
+  // writer thread (Put/Append/BulkLoad, all under mu_) — the background
+  // worker never touches it — and the Store contract forbids calling const
+  // metadata accessors while a writer is active, so this unlocked read
+  // cannot race. See docs/ARCHITECTURE.md, "Lock discipline".
+  uint64_t num_points() const override K2_NO_THREAD_SAFETY_ANALYSIS {
+    return num_points_;
+  }
 
   /// Native snapshot: drains background work, then opens a private SSTable
   /// handle (own mmap, block cache, bloom, IO accounting) per immutable
   /// table file and freezes the memtable into a sorted run, so concurrent
   /// readers share nothing mutable.
-  Result<std::unique_ptr<Store>> CreateReadSnapshot() override;
+  Result<std::unique_ptr<Store>> CreateReadSnapshot() override
+      K2_EXCLUDES(mu_);
 
   /// Single-row insert ("fast data inserts" requirement (3) of Sec. 5);
   /// WAL-logged, rotates the memtable automatically when full.
-  Status Put(Timestamp t, ObjectId oid, double x, double y);
+  Status Put(Timestamp t, ObjectId oid, double x, double y) K2_EXCLUDES(mu_);
 
   /// Rotates a non-empty memtable out and blocks until every queued flush
   /// and compaction has completed (and been committed to the MANIFEST).
-  Status Flush();
+  Status Flush() K2_EXCLUDES(mu_);
 
   /// First error of recovery-on-open, sticky across all operations.
   const Status& init_status() const { return init_status_; }
   /// First unrecovered write-path error (WAL, flush, compaction, MANIFEST),
   /// sticky: later writes fail with it, reads keep working.
-  Status write_error() const;
+  Status write_error() const K2_EXCLUDES(mu_);
 
-  size_t num_sstables() const;
-  size_t num_tiers() const;
+  size_t num_sstables() const K2_EXCLUDES(mu_);
+  size_t num_tiers() const K2_EXCLUDES(mu_);
   /// WAL segments feeding the active memtable (>= 1 once writable; grows
   /// with size-based rotation, resets when the memtable rotates).
-  size_t active_wal_segments() const;
+  size_t active_wal_segments() const K2_EXCLUDES(mu_);
   /// Entries in the active (mutable) memtable.
-  size_t memtable_entries() const;
-  uint64_t compactions_run() const;
+  size_t memtable_entries() const K2_EXCLUDES(mu_);
+  uint64_t compactions_run() const K2_EXCLUDES(mu_);
   /// IO performed by flush/compaction reading their merge inputs — kept out
   /// of io_stats() so query-path pruning accounting stays clean.
-  IoStats background_io_stats() const;
+  IoStats background_io_stats() const K2_EXCLUDES(mu_);
 
  private:
   /// An immutable memtable queued for flush, together with the WAL segments
@@ -133,81 +143,90 @@ class LsmStore final : public Store {
     std::vector<uint64_t> wal_seqs;
   };
 
-  // All Locked methods require mu_ held; the job methods (FlushFrontLocked,
+  // All Locked methods require mu_ held (K2_REQUIRES — a call without the
+  // lock is a compile error under clang); the job methods (FlushFrontLocked,
   // CompactLocked) drop it around file IO and re-take it to install results.
-  Status Recover();
-  Status WritableLocked() const;
+  Status Recover() K2_EXCLUDES(mu_);
+  Status WritableLocked() const K2_REQUIRES(mu_);
   std::string TableFilePath(uint64_t seq) const;
   std::string WalFilePath(uint64_t seq) const;
-  lsm::ManifestState ManifestSnapshotLocked() const;
-  Status WriteManifestLocked();
-  Status OpenActiveWalLocked(bool fresh_wal_set);
+  lsm::ManifestState ManifestSnapshotLocked() const K2_REQUIRES(mu_);
+  Status WriteManifestLocked() K2_REQUIRES(mu_);
+  Status OpenActiveWalLocked(bool fresh_wal_set) K2_REQUIRES(mu_);
   Status WalAppendLocked(Timestamp t, const std::vector<SnapshotPoint>& points,
-                         bool sync);
-  void ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y);
-  Status MaybeRotateLocked(std::unique_lock<std::mutex>& lock);
-  Status RotateMemtableLocked(std::unique_lock<std::mutex>& lock);
-  Status RotateWalSegmentLocked();
+                         bool sync) K2_REQUIRES(mu_);
+  void ApplyPutLocked(Timestamp t, ObjectId oid, double x, double y)
+      K2_REQUIRES(mu_);
+  Status MaybeRotateLocked() K2_REQUIRES(mu_);
+  Status RotateMemtableLocked() K2_REQUIRES(mu_);
+  Status RotateWalSegmentLocked() K2_REQUIRES(mu_);
   /// Blocks until queued work is done (background) or runs it inline (sync
   /// mode); returns the sticky write error if one surfaced.
-  Status DrainLocked(std::unique_lock<std::mutex>& lock);
-  Status FlushFrontLocked(std::unique_lock<std::mutex>& lock);
-  Status CompactLocked(std::unique_lock<std::mutex>& lock);
-  void RebuildFlatViewLocked();
+  Status DrainLocked() K2_REQUIRES(mu_);
+  Status FlushFrontLocked() K2_REQUIRES(mu_);
+  Status CompactLocked() K2_REQUIRES(mu_);
+  void RebuildFlatViewLocked() K2_REQUIRES(mu_);
   /// Fills `mems` (active memtable first, then pending newest-first) and
   /// returns the count. The caller must size `mems` for 1 + pending_.size();
   /// reads use a stack buffer since backpressure bounds the pending queue.
-  size_t CollectMemsLocked(const lsm::SkipList** mems) const;
-  void StartWorker();
-  void StopWorker();
-  void WorkerMain();
+  size_t CollectMemsLocked(const lsm::SkipList** mems) const K2_REQUIRES(mu_);
+  void StartWorker() K2_EXCLUDES(mu_);
+  void StopWorker() K2_EXCLUDES(mu_);
+  void WorkerMain() K2_EXCLUDES(mu_);
 
   std::string dir_;
   Options options_;
   Env* env_;
-  Status init_status_;
+  Status init_status_;  ///< Written once in the constructor, then read-only.
 
   /// One lock guards every piece of shared LSM state below. Foreground
   /// reads hold it across the whole read (the store contract already
   /// serializes readers externally; this lock only fences the background
   /// thread), the worker holds it only while installing results.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals the worker: work or stop.
-  std::condition_variable drain_cv_;  ///< Signals waiters: job finished.
+  mutable Mutex mu_;
+  CondVar work_cv_;   ///< Signals the worker: work or stop.
+  CondVar drain_cv_;  ///< Signals waiters: job finished.
 
-  std::unique_ptr<lsm::SkipList> memtable_;  ///< Active, foreground-written.
-  std::vector<uint64_t> active_wal_seqs_;    ///< WAL segments feeding it.
-  std::unique_ptr<lsm::WalWriter> wal_;
-  std::deque<PendingMemtable> pending_;  ///< Oldest first, awaiting flush.
+  /// Active, foreground-written memtable.
+  std::unique_ptr<lsm::SkipList> memtable_ K2_GUARDED_BY(mu_);
+  /// WAL segments feeding the active memtable.
+  std::vector<uint64_t> active_wal_seqs_ K2_GUARDED_BY(mu_);
+  std::unique_ptr<lsm::WalWriter> wal_ K2_GUARDED_BY(mu_);
+  /// Oldest first, awaiting flush.
+  std::deque<PendingMemtable> pending_ K2_GUARDED_BY(mu_);
 
   /// tiers_[i] = tables of tier i, oldest first. Tier number grows with
   /// table size (size-tiered compaction).
-  std::vector<std::vector<std::unique_ptr<lsm::SSTable>>> tiers_;
+  std::vector<std::vector<std::unique_ptr<lsm::SSTable>>> tiers_
+      K2_GUARDED_BY(mu_);
   /// All tables, newest first; rebuilt when the tier structure changes.
-  std::vector<lsm::SSTable*> flat_newest_first_;
-  uint64_t next_seq_ = 1;
-  uint64_t num_points_ = 0;
-  uint64_t compactions_run_ = 0;
-  Status write_error_;
+  std::vector<lsm::SSTable*> flat_newest_first_ K2_GUARDED_BY(mu_);
+  uint64_t next_seq_ K2_GUARDED_BY(mu_) = 1;
+  /// Written only by the external writer thread (under mu_); see
+  /// num_points() for the unlocked const-read invariant.
+  uint64_t num_points_ K2_GUARDED_BY(mu_) = 0;
+  uint64_t compactions_run_ K2_GUARDED_BY(mu_) = 0;
+  Status write_error_ K2_GUARDED_BY(mu_);
   /// True while BulkLoad streams rows in: WAL logging is skipped (see
   /// BulkLoad's durability note), everything else behaves normally.
-  bool bulk_loading_ = false;
-  IoStats bg_io_;  ///< Merge-input reads of flush/compaction jobs.
+  bool bulk_loading_ K2_GUARDED_BY(mu_) = false;
+  /// Merge-input reads of flush/compaction jobs.
+  IoStats bg_io_ K2_GUARDED_BY(mu_);
 
   std::thread worker_;
-  bool worker_started_ = false;
-  bool worker_busy_ = false;
-  bool stop_ = false;
+  bool worker_started_ K2_GUARDED_BY(mu_) = false;
+  bool worker_busy_ K2_GUARDED_BY(mu_) = false;
+  bool stop_ K2_GUARDED_BY(mu_) = false;
 
   /// Sorted, duplicate-free tick list, maintained eagerly on mutation
   /// (Put/BulkLoad) so the const read path never writes shared state —
   /// timestamps() used to rebuild a cache lazily inside a const method, a
   /// data race under the parallel mining pipeline's concurrent metadata
-  /// reads.
-  std::vector<Timestamp> tick_cache_;
+  /// reads. Unlocked const reads follow the num_points() invariant.
+  std::vector<Timestamp> tick_cache_ K2_GUARDED_BY(mu_);
 
   /// Reused per-Append WAL record serialization buffer.
-  std::string wal_scratch_;
+  std::string wal_scratch_ K2_GUARDED_BY(mu_);
 };
 
 }  // namespace k2

@@ -114,7 +114,7 @@ namespace {
 /// own io_stats() stay zero so callers never double-count.
 class SerializedSnapshotStore final : public Store {
  public:
-  SerializedSnapshotStore(Store* parent, std::mutex* mu)
+  SerializedSnapshotStore(Store* parent, Mutex* mu)
       : parent_(parent), mu_(mu) {}
 
   std::string name() const override { return parent_->name(); }
@@ -125,13 +125,13 @@ class SerializedSnapshotStore final : public Store {
   }
 
   Status ScanTimestamp(Timestamp t, std::vector<SnapshotPoint>* out) override {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     return parent_->ScanTimestamp(t, out);
   }
 
   Status GetPoints(Timestamp t, const ObjectSet& objects,
                    std::vector<SnapshotPoint>* out) override {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(*mu_);
     return parent_->GetPoints(t, objects, out);
   }
 
@@ -150,7 +150,7 @@ class SerializedSnapshotStore final : public Store {
   }
 
   Store* parent_;
-  std::mutex* mu_;
+  Mutex* mu_;
 };
 
 }  // namespace

@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/object_set.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -81,6 +81,11 @@ double PruningRatio(const IoStats& io, uint64_t total_points);
 /// threads by the engine itself (the LSM store fences all shared state
 /// with one internal mutex; the TSan CI job enforces this). Destruction
 /// and `BulkLoad` must quiesce internal workers before returning.
+///
+/// The full mutex/capability inventory — what each lock guards, the
+/// acquisition order, and the invariants the clang thread-safety analyzer
+/// cannot see (this contract's unlocked const-read path among them) — is
+/// tabulated in docs/ARCHITECTURE.md, section "Lock discipline".
 ///
 /// For lock-free concurrent reads, `CreateReadSnapshot` hands out
 /// independent read-only handles (one per reader thread) instead of sharing
@@ -164,7 +169,9 @@ class Store {
  private:
   /// Serializes every fallback snapshot of this store (see
   /// CreateReadSnapshot); engines with native snapshots never touch it.
-  std::mutex fallback_snapshot_mu_;
+  /// Guards no fields directly: it fences the parent's whole read path
+  /// (ScanTimestamp/GetPoints) for the serialized-snapshot delegates.
+  Mutex fallback_snapshot_mu_;
 };
 
 /// Factory helpers used by benches and examples; `dir` is a scratch

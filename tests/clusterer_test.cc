@@ -56,13 +56,13 @@ class FixedClusterer final : public SnapshotClusterer {
   std::string name() const override { return "fixed"; }
   Result<std::vector<ObjectSet>> Cluster(Store*, Timestamp,
                                          const MiningParams&, SnapshotScratch*,
-                                         std::mutex*) const override {
+                                         Mutex*) const override {
     return answer_;
   }
   Result<std::vector<ObjectSet>> ReCluster(Store*, Timestamp, const ObjectSet&,
                                            const MiningParams&,
                                            SnapshotScratch*,
-                                           std::mutex*) const override {
+                                           Mutex*) const override {
     return answer_;
   }
 

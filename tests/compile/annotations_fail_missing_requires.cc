@@ -1,0 +1,26 @@
+// Negative-compile proof: calling a K2_REQUIRES(mu) function without
+// holding mu MUST fail under clang -Werror=thread-safety. Paired with
+// annotations_fail_unlocked_access.cc; see tests/CMakeLists.txt.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { IncrementLocked(); }  // mu_ not held: must not compile
+
+ private:
+  void IncrementLocked() K2_REQUIRES(mu_) { ++value_; }
+
+  k2::Mutex mu_;
+  int value_ K2_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

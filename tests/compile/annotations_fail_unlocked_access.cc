@@ -1,0 +1,24 @@
+// Negative-compile proof: reading a K2_GUARDED_BY field without holding
+// its mutex MUST fail under clang -Werror=thread-safety. tests/CMakeLists
+// try_compiles this at configure time and aborts the build if it compiles
+// — that would mean the analysis gate is silently off.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Get() { return value_; }  // no lock: the bug this gate exists for
+
+ private:
+  k2::Mutex mu_;
+  int value_ K2_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Get();
+}

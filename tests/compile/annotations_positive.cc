@@ -1,0 +1,35 @@
+// Positive control for the thread-annotation compile checks: disciplined
+// locking through k2::Mutex/MutexLock must build warning-free under BOTH
+// compilers — clang with the analysis live and gcc with the annotations
+// compiled out to nothing. If this file fails, the macro layer itself is
+// broken and the negative checks below prove nothing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() K2_EXCLUDES(mu_) {
+    k2::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+  int Get() K2_EXCLUDES(mu_) {
+    k2::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() K2_REQUIRES(mu_) { ++value_; }
+
+  k2::Mutex mu_;
+  int value_ K2_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get() == 1 ? 0 : 1;
+}
